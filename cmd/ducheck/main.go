@@ -1,0 +1,110 @@
+// Command ducheck checks a transactional history against the correctness
+// criteria of the paper. The history is read from a file (or stdin with
+// "-") in the text format of internal/histio.
+//
+// Usage:
+//
+//	ducheck [-criteria du,opacity,...] [-witness] file
+//
+// Exit status: 0 if every requested criterion accepts, 1 if any rejects,
+// 2 on input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"duopacity/internal/histio"
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+var criteriaByFlag = map[string]spec.Criterion{
+	"du":         spec.DUOpacity,
+	"opacity":    spec.Opacity,
+	"finalstate": spec.FinalStateOpacity,
+	"tms2":       spec.TMS2,
+	"rco":        spec.RCO,
+	"strictser":  spec.StrictSerializability,
+	"ser":        spec.Serializability,
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ducheck:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("ducheck", flag.ContinueOnError)
+	criteriaFlag := fs.String("criteria", "du,opacity,finalstate,tms2,rco,strictser,ser",
+		"comma-separated criteria (du, opacity, finalstate, tms2, rco, strictser, ser)")
+	witness := fs.Bool("witness", false, "print witness serializations")
+	explain := fs.Bool("explain", false, "print the per-read deferred-update analysis")
+	nodeLimit := fs.Int("node-limit", 0, "bound the search (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("usage: ducheck [flags] <file|->")
+	}
+
+	var criteria []spec.Criterion
+	for _, name := range strings.Split(*criteriaFlag, ",") {
+		c, ok := criteriaByFlag[strings.TrimSpace(name)]
+		if !ok {
+			return 2, fmt.Errorf("unknown criterion %q", name)
+		}
+		criteria = append(criteria, c)
+	}
+
+	var src io.Reader
+	if fs.Arg(0) == "-" {
+		src = stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		src = f
+	}
+	h, err := histio.Parse(src)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(stdout, "history: %d events, %d transactions, %d objects, unique-writes=%v\n",
+		h.Len(), h.NumTxns(), len(h.Vars()), spec.UniqueWrites(h))
+	if *explain {
+		fmt.Fprintln(stdout, "reads:")
+		for _, ri := range spec.AnalyzeReads(h) {
+			fmt.Fprintf(stdout, "  %s\n", ri)
+		}
+	}
+
+	violations := 0
+	for _, c := range criteria {
+		v := spec.Check(h, c, spec.WithNodeLimit(*nodeLimit))
+		fmt.Fprintln(stdout, v)
+		if !v.OK {
+			violations++
+		}
+		if *witness && v.OK && v.Serialization != nil {
+			printWitness(stdout, v.Serialization)
+		}
+	}
+	if violations > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func printWitness(w io.Writer, s *history.Seq) {
+	fmt.Fprintf(w, "  witness: %s\n", s)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAcceptsGoodHistory(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "good.hist")
+	src := "write 1 X 1\ncommit 1\nread 2 X 1\ncommit 2\n"
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run([]string{"-witness", file}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"du-opacity: OK", "witness", "unique-writes=true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsViolation(t *testing.T) {
+	// Figure 4 shape in shorthand/event mix.
+	src := `
+inv write 1 X 1
+res write 1 X 1 ok
+inv tryc 1
+read 2 X 1
+write 3 X 1
+commit 3
+res tryc 1 A
+`
+	var out strings.Builder
+	code, err := run([]string{"-criteria", "du,opacity", "-explain", "-"}, strings.NewReader(src), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "violated") {
+		t.Errorf("output missing violation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "du-eligible {}") {
+		t.Errorf("explain output missing read analysis:\n%s", out.String())
+	}
+	// Opacity accepts Figure 4.
+	if !strings.Contains(out.String(), "opacity: OK") {
+		t.Errorf("opacity should accept Figure 4:\n%s", out.String())
+	}
+}
+
+func TestRunInputErrors(t *testing.T) {
+	if code, err := run([]string{"-criteria", "nope", "-"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
+		t.Error("unknown criterion should be an input error")
+	}
+	if code, err := run([]string{}, nil, &strings.Builder{}); err == nil || code != 2 {
+		t.Error("missing file argument should be an input error")
+	}
+	if code, err := run([]string{"-"}, strings.NewReader("garbage line\n"), &strings.Builder{}); err == nil || code != 2 {
+		t.Error("malformed history should be an input error")
+	}
+	if code, err := run([]string{"/does/not/exist.hist"}, nil, &strings.Builder{}); err == nil || code != 2 {
+		t.Error("missing file should be an input error")
+	}
+}

@@ -1,0 +1,83 @@
+// Command histgen generates transactional histories in the text format of
+// internal/histio: du-opaque by construction, serial, or mutated with a
+// planted violation. Useful for producing test corpora for ducheck.
+//
+// Usage:
+//
+//	histgen [-txns 6] [-objects 3] [-ops 3] [-read-frac 0.5] [-unique]
+//	        [-serial] [-mutate none|future-read|sourceless|abort-writer]
+//	        [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"duopacity/internal/gen"
+	"duopacity/internal/histio"
+	"duopacity/internal/history"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "histgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("histgen", flag.ContinueOnError)
+	txns := fs.Int("txns", 6, "number of transactions")
+	objects := fs.Int("objects", 3, "number of t-objects")
+	ops := fs.Int("ops", 3, "max operations per transaction")
+	readFrac := fs.Float64("read-frac", 0.5, "probability an operation reads")
+	unique := fs.Bool("unique", false, "unique write values (Theorem 11 hypothesis)")
+	serial := fs.Bool("serial", false, "emit the t-sequential base (no relaxation)")
+	mutate := fs.String("mutate", "none", "plant a violation: none, future-read, sourceless, abort-writer")
+	seed := fs.Int64("seed", 1, "random seed")
+	pAbort := fs.Float64("p-abort", 0.15, "probability a transaction aborts via tryC")
+	pPending := fs.Float64("p-pending", 0.1, "probability a transaction's tryC stays pending")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := gen.Config{
+		Txns:           *txns,
+		Objects:        *objects,
+		OpsPerTxn:      *ops,
+		ReadFraction:   *readFrac,
+		UniqueWrites:   *unique,
+		PAbort:         *pAbort,
+		PCommitPending: *pPending,
+		Seed:           *seed,
+	}
+	var h *history.History
+	if *serial {
+		h = gen.Serial(cfg)
+	} else {
+		h = gen.DUOpaque(cfg)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var ok bool
+	switch *mutate {
+	case "none":
+		ok = true
+	case "future-read":
+		h, ok = gen.MutateFutureRead(h, rng)
+	case "sourceless":
+		h, ok = gen.MutateSourcelessRead(h, rng)
+	case "abort-writer":
+		h, ok = gen.MutateAbortWriter(h, rng)
+	default:
+		return fmt.Errorf("unknown mutation %q", *mutate)
+	}
+	if !ok {
+		return fmt.Errorf("mutation %q not applicable to the generated history (try another seed)", *mutate)
+	}
+	fmt.Fprintf(stdout, "# generated: txns=%d objects=%d seed=%d mutate=%s\n", *txns, *objects, *seed, *mutate)
+	return histio.Format(stdout, h)
+}

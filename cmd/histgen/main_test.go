@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"duopacity/internal/histio"
+	"duopacity/internal/spec"
+)
+
+func generate(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestGeneratedHistoriesParseAndVerify(t *testing.T) {
+	out := generate(t, "-txns", "5", "-unique", "-seed", "7")
+	h, err := histio.ParseString(out)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, out)
+	}
+	if v := spec.CheckDUOpacity(h); !v.OK {
+		t.Fatalf("generated history not du-opaque: %s", v.Reason)
+	}
+	if !spec.UniqueWrites(h) {
+		t.Fatal("-unique not honored")
+	}
+}
+
+func TestGeneratedSerial(t *testing.T) {
+	out := generate(t, "-serial", "-txns", "4", "-seed", "2")
+	h, err := histio.ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.CheckDUOpacity(h).OK {
+		t.Fatal("serial history not du-opaque")
+	}
+}
+
+func TestMutations(t *testing.T) {
+	tests := []struct {
+		mutate   string
+		criteria spec.Criterion
+	}{
+		{"future-read", spec.DUOpacity},
+		{"sourceless", spec.FinalStateOpacity},
+		{"abort-writer", spec.FinalStateOpacity},
+	}
+	for _, tc := range tests {
+		t.Run(tc.mutate, func(t *testing.T) {
+			// Some seeds have no applicable mutation; scan a few.
+			for seed := 1; seed <= 30; seed++ {
+				var out strings.Builder
+				err := run([]string{"-txns", "6", "-unique", "-seed", strconv.Itoa(seed), "-mutate", tc.mutate}, &out)
+				if err != nil {
+					continue
+				}
+				h, perr := histio.ParseString(out.String())
+				if perr != nil {
+					t.Fatalf("seed %d: %v", seed, perr)
+				}
+				if v := spec.Check(h, tc.criteria); v.OK {
+					t.Fatalf("seed %d: %s accepted a %s mutant", seed, tc.criteria, tc.mutate)
+				}
+				return
+			}
+			t.Fatalf("mutation %s never applicable in 30 seeds", tc.mutate)
+		})
+	}
+}
+
+func TestUnknownMutation(t *testing.T) {
+	if err := run([]string{"-mutate", "nope"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown mutation accepted")
+	}
+}

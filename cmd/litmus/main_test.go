@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunAllCases(t *testing.T) {
+	// The full matrix must match the registry's expectations (the run
+	// returns an error on any mismatch).
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleCase(t *testing.T) {
+	if err := run([]string{"-case", "figure-4", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-case", "no-such"}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}

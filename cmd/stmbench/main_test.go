@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunThroughputTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-engines", "gl,norec", "-txns", "20", "-goroutines", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"throughput", "gl", "norec", "txn/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCertification(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-engines", "gl", "-txns", "10", "-certify", "-episodes", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "certification") || !strings.Contains(out.String(), "du-opacity") {
+		t.Errorf("certification table missing:\n%s", out.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-engines", "gl", "-txns", "10", "-sweep"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "read fraction") {
+		t.Errorf("sweep table missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	if err := run([]string{"-engines", "bogus", "-txns", "5"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package enum exhaustively enumerates all well-formed histories within a
+// bounded scope (events, transactions, objects, values). Where the
+// property-based tests sample, this package verifies the paper's theorems
+// over *every* history of a small scope — the strongest evidence a
+// reproduction can offer for universally quantified claims:
+//
+//   - Theorem 10: du-opacity ⟹ opacity, for all histories in scope;
+//   - Theorem 11: under unique writes, opacity ⟹ du-opacity;
+//   - Corollary 2 (prefix closure): a history is never du-opaque when its
+//     immediate prefix is not, which the enumerator checks in O(1) per
+//     history by walking its own DFS tree.
+//
+// Enumeration applies a symmetry reduction (transaction k appears only
+// after k-1) so that isomorphic histories are visited once.
+package enum
+
+import (
+	"duopacity/internal/history"
+)
+
+// Scope bounds the enumeration.
+type Scope struct {
+	// MaxEvents bounds the history length.
+	MaxEvents int
+	// MaxTxns bounds the number of distinct transactions.
+	MaxTxns int
+	// Objects are the t-objects events may touch.
+	Objects []history.Var
+	// Values are the candidate written values and read results;
+	// InitValue-returning reads are always candidates.
+	Values []history.Value
+}
+
+// DefaultScope is small enough to enumerate in well under a second yet
+// rich enough to contain the paper's Figure 3/4 patterns (two
+// transactions, one object, two values).
+func DefaultScope() Scope {
+	return Scope{
+		MaxEvents: 7,
+		MaxTxns:   2,
+		Objects:   []history.Var{"X"},
+		Values:    []history.Value{1},
+	}
+}
+
+// Node is an enumerated history along with its parent (the history minus
+// its last event), enabling O(1) prefix-relation checks during the walk.
+type Node struct {
+	H *history.History
+	// ParentData is the value the visitor returned for the parent node;
+	// nil at the root (the empty history).
+	ParentData interface{}
+}
+
+// Walk enumerates every well-formed history in the scope in DFS order,
+// calling visit for each. The value visit returns is passed to all
+// children as ParentData. Walk returns the number of histories visited
+// (excluding the empty root).
+func Walk(s Scope, visit func(Node) interface{}) int {
+	e := &enumerator{scope: s, visit: visit}
+	rootData := visit(Node{H: history.MustFromEvents(nil)})
+	e.walk(rootData)
+	return e.count
+}
+
+// txnState tracks the per-transaction automaton during enumeration.
+type txnState uint8
+
+const (
+	stFresh   txnState = iota // not yet started
+	stRunning                 // live, no pending operation
+	stPending                 // one operation invoked, not yet responded
+	stDone                    // t-complete
+)
+
+type enumerator struct {
+	scope  Scope
+	visit  func(Node) interface{}
+	evs    []history.Event
+	states [65]txnState
+	// pending[k] is the pending invocation of transaction k.
+	pending [65]history.Event
+	started int
+	count   int
+}
+
+func (e *enumerator) walk(parentData interface{}) {
+	if len(e.evs) >= e.scope.MaxEvents {
+		return
+	}
+	for k := 1; k <= e.scope.MaxTxns && k <= e.started+1; k++ {
+		kid := history.TxnID(k)
+		switch e.states[k] {
+		case stDone:
+			continue
+		case stPending:
+			inv := e.pending[k]
+			for _, res := range e.responses(inv) {
+				e.step(k, res, stateAfterResponse(res), parentData)
+			}
+		default: // stFresh or stRunning
+			for _, inv := range e.invocations(kid) {
+				e.step(k, inv, stPending, parentData)
+			}
+		}
+	}
+}
+
+// step appends the event, visits the resulting history, recurses, and
+// backtracks.
+func (e *enumerator) step(k int, ev history.Event, next txnState, parentData interface{}) {
+	prevState := e.states[k]
+	prevPending := e.pending[k]
+	prevStarted := e.started
+
+	if prevState == stFresh {
+		e.started++
+	}
+	e.states[k] = next
+	if ev.Kind == history.Inv {
+		e.pending[k] = ev
+	}
+	e.evs = append(e.evs, ev)
+	e.count++
+
+	h := history.MustFromEvents(e.evs)
+	data := e.visit(Node{H: h, ParentData: parentData})
+	e.walk(data)
+
+	e.evs = e.evs[:len(e.evs)-1]
+	e.states[k] = prevState
+	e.pending[k] = prevPending
+	e.started = prevStarted
+}
+
+func (e *enumerator) invocations(k history.TxnID) []history.Event {
+	var out []history.Event
+	for _, obj := range e.scope.Objects {
+		out = append(out, history.Event{Kind: history.Inv, Op: history.OpRead, Txn: k, Obj: obj})
+		for _, v := range e.scope.Values {
+			out = append(out, history.Event{Kind: history.Inv, Op: history.OpWrite, Txn: k, Obj: obj, Arg: v})
+		}
+	}
+	out = append(out,
+		history.Event{Kind: history.Inv, Op: history.OpTryCommit, Txn: k},
+		history.Event{Kind: history.Inv, Op: history.OpTryAbort, Txn: k},
+	)
+	return out
+}
+
+func (e *enumerator) responses(inv history.Event) []history.Event {
+	k := inv.Txn
+	switch inv.Op {
+	case history.OpRead:
+		out := []history.Event{
+			{Kind: history.Res, Op: history.OpRead, Txn: k, Obj: inv.Obj, Val: history.InitValue, Out: history.OutOK},
+		}
+		for _, v := range e.scope.Values {
+			if v != history.InitValue {
+				out = append(out, history.Event{Kind: history.Res, Op: history.OpRead, Txn: k, Obj: inv.Obj, Val: v, Out: history.OutOK})
+			}
+		}
+		out = append(out, history.Event{Kind: history.Res, Op: history.OpRead, Txn: k, Obj: inv.Obj, Out: history.OutAbort})
+		return out
+	case history.OpWrite:
+		return []history.Event{
+			{Kind: history.Res, Op: history.OpWrite, Txn: k, Obj: inv.Obj, Arg: inv.Arg, Out: history.OutOK},
+			{Kind: history.Res, Op: history.OpWrite, Txn: k, Obj: inv.Obj, Arg: inv.Arg, Out: history.OutAbort},
+		}
+	case history.OpTryCommit:
+		return []history.Event{
+			{Kind: history.Res, Op: history.OpTryCommit, Txn: k, Out: history.OutCommit},
+			{Kind: history.Res, Op: history.OpTryCommit, Txn: k, Out: history.OutAbort},
+		}
+	default: // OpTryAbort
+		return []history.Event{
+			{Kind: history.Res, Op: history.OpTryAbort, Txn: k, Out: history.OutAbort},
+		}
+	}
+}
+
+func stateAfterResponse(res history.Event) txnState {
+	if res.Out == history.OutAbort || res.Out == history.OutCommit {
+		return stDone
+	}
+	return stRunning
+}

@@ -1,0 +1,156 @@
+package enum
+
+import (
+	"testing"
+
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+func TestWalkCountsAndWellFormedness(t *testing.T) {
+	s := Scope{MaxEvents: 4, MaxTxns: 2, Objects: []history.Var{"X"}, Values: []history.Value{1}}
+	seen := 0
+	n := Walk(s, func(node Node) interface{} {
+		if node.H.Len() > 0 {
+			seen++
+		}
+		if node.H.Len() > s.MaxEvents {
+			t.Fatalf("history exceeds scope: %d events", node.H.Len())
+		}
+		return nil
+	})
+	if n != seen {
+		t.Fatalf("Walk returned %d, visited %d", n, seen)
+	}
+	if n == 0 {
+		t.Fatal("nothing enumerated")
+	}
+}
+
+func TestWalkSymmetryReduction(t *testing.T) {
+	// Transaction 2 never appears before transaction 1.
+	s := Scope{MaxEvents: 3, MaxTxns: 2, Objects: []history.Var{"X"}, Values: []history.Value{1}}
+	Walk(s, func(node Node) interface{} {
+		if node.H.Len() == 0 {
+			return nil
+		}
+		first := node.H.At(0)
+		if first.Txn != 1 {
+			t.Fatalf("first event from T%d, want T1", first.Txn)
+		}
+		return nil
+	})
+}
+
+// exhaustiveScope is the scope used by the theorem tests: every
+// well-formed history with at most 7 events of 2 transactions over one
+// object and values {0,1}. This includes the Figure 3 and Figure 4 (first
+// half) patterns.
+func exhaustiveScope() Scope {
+	return DefaultScope()
+}
+
+// verdicts is the ParentData payload: the parent's du verdict.
+type verdicts struct {
+	du bool
+}
+
+// TestExhaustiveTheorem10AndPrefixClosure verifies, for every history in
+// the scope: du-opaque ⟹ opaque (Theorem 10), and du-opaque ⟹ parent
+// du-opaque (Corollary 2, contrapositive via the DFS tree).
+func TestExhaustiveTheorem10AndPrefixClosure(t *testing.T) {
+	duCount, total := 0, 0
+	n := Walk(exhaustiveScope(), func(node Node) interface{} {
+		du := spec.CheckDUOpacity(node.H).OK
+		if node.H.Len() == 0 {
+			return verdicts{du: du}
+		}
+		total++
+		if du {
+			duCount++
+			// Theorem 10.
+			if !spec.CheckOpacity(node.H).OK {
+				t.Fatalf("du-opaque but not opaque:\n%s", node.H)
+			}
+			// Corollary 2 via the DFS parent.
+			if p, ok := node.ParentData.(verdicts); ok && !p.du {
+				t.Fatalf("du-opaque history with non-du-opaque prefix:\n%s", node.H)
+			}
+		}
+		return verdicts{du: du}
+	})
+	if n != total {
+		t.Fatalf("visited %d, Walk reported %d", total, n)
+	}
+	t.Logf("exhaustively verified %d histories (%d du-opaque)", total, duCount)
+	if duCount == 0 || duCount == total {
+		t.Fatal("degenerate scope: verdicts do not discriminate")
+	}
+}
+
+// TestExhaustiveTheorem11 verifies, for every unique-writes history in the
+// scope, that opacity and du-opacity coincide.
+func TestExhaustiveTheorem11(t *testing.T) {
+	checked := 0
+	Walk(exhaustiveScope(), func(node Node) interface{} {
+		if node.H.Len() == 0 || !spec.UniqueWrites(node.H) {
+			return nil
+		}
+		checked++
+		du := spec.CheckDUOpacity(node.H).OK
+		op := spec.CheckOpacity(node.H).OK
+		if du != op {
+			t.Fatalf("unique-writes history with du=%v opacity=%v:\n%s", du, op, node.H)
+		}
+		return nil
+	})
+	t.Logf("exhaustively verified Theorem 11 on %d unique-writes histories", checked)
+	if checked == 0 {
+		t.Fatal("no unique-writes histories in scope")
+	}
+}
+
+// TestExhaustiveFinalStateNotPrefixClosed re-finds the Figure 3 phenomenon
+// by exhaustive search: there exists a history in scope that is
+// final-state opaque while its immediate prefix is not.
+func TestExhaustiveFinalStateNotPrefixClosed(t *testing.T) {
+	type fsv struct{ fs bool }
+	found := 0
+	Walk(exhaustiveScope(), func(node Node) interface{} {
+		fs := spec.CheckFinalStateOpacity(node.H).OK
+		if p, ok := node.ParentData.(fsv); ok && fs && !p.fs {
+			found++
+		}
+		return fsv{fs: fs}
+	})
+	if found == 0 {
+		t.Fatal("no Figure-3-style witness found: final-state opacity looked prefix-closed in scope")
+	}
+	t.Logf("found %d witnesses that final-state opacity is not prefix-closed", found)
+}
+
+// TestExhaustiveTwoTxnsCannotSeparate: an exhaustive finding that
+// complements Proposition 2 — within the 2-transaction scope, opacity and
+// du-opacity coincide on every history. Separating them (Figure 4)
+// requires a third transaction re-writing the value read, so the paper's
+// counter-example is minimal in its transaction count; the litmus tests
+// pin Figure 4 itself as the separator.
+func TestExhaustiveTwoTxnsCannotSeparate(t *testing.T) {
+	separating := 0
+	checked := 0
+	Walk(exhaustiveScope(), func(node Node) interface{} {
+		if node.H.Len() == 0 {
+			return nil
+		}
+		checked++
+		if !spec.CheckDUOpacity(node.H).OK && spec.CheckOpacity(node.H).OK {
+			separating++
+		}
+		return nil
+	})
+	if separating != 0 {
+		t.Fatalf("%d two-transaction histories separate opacity from du-opacity — "+
+			"unexpected: the known minimal separator (Figure 4) needs three transactions", separating)
+	}
+	t.Logf("verified on %d histories: no 2-transaction history over one object separates opacity from du-opacity", checked)
+}

@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math/rand"
+
+	"duopacity/internal/history"
+)
+
+// MutateSourcelessRead rewrites one value-returning read to return a value
+// never written anywhere, which every criterion must reject. It returns
+// the mutated history and false when the history has no such read.
+func MutateSourcelessRead(h *history.History, rng *rand.Rand) (*history.History, bool) {
+	evs := h.Events()
+	var idxs []int
+	var maxVal history.Value
+	for i, e := range evs {
+		if e.Kind == history.Res && e.Op == history.OpRead && e.Out == history.OutOK {
+			idxs = append(idxs, i)
+		}
+		if e.Op == history.OpWrite && e.Arg > maxVal {
+			maxVal = e.Arg
+		}
+		if e.Op == history.OpRead && e.Val > maxVal {
+			maxVal = e.Val
+		}
+	}
+	if len(idxs) == 0 {
+		return h, false
+	}
+	i := idxs[rng.Intn(len(idxs))]
+	evs[i].Val = maxVal + 1
+	return history.MustFromEvents(evs), true
+}
+
+// MutateFutureRead plants a deferred-update violation: it finds a read
+// whose response follows the tryC invocation of the (unique) writer of the
+// value read, and moves the response to just before that invocation. The
+// read then returns a value no transaction had started committing — the
+// Figure 4 signature — so the result is never du-opaque, while final-state
+// opacity may still hold. Detection is guaranteed when h has unique
+// writes. Returns false when no eligible read exists.
+func MutateFutureRead(h *history.History, rng *rand.Rand) (*history.History, bool) {
+	evs := h.Events()
+	type candidate struct {
+		resIdx, destIdx int
+	}
+	var cands []candidate
+	for _, k := range h.Txns() {
+		t := h.Txn(k)
+		overlay := make(map[history.Var]bool)
+		for _, op := range t.Ops {
+			if op.Pending {
+				break
+			}
+			switch op.Kind {
+			case history.OpWrite:
+				if op.Out == history.OutOK {
+					overlay[op.Obj] = true
+				}
+			case history.OpRead:
+				if op.Out != history.OutOK || overlay[op.Obj] || op.Val == history.InitValue {
+					continue
+				}
+				// Find a writer of this value whose tryC invocation lies
+				// strictly between the read's invocation and response: the
+				// response can then be hoisted just before it.
+				for _, m := range h.Txns() {
+					if m == k {
+						continue
+					}
+					w := h.Txn(m)
+					if w.TryCInv <= op.InvIndex || w.TryCInv >= op.ResIndex {
+						continue
+					}
+					if lw, ok := w.LastWrites()[op.Obj]; ok && lw == op.Val {
+						cands = append(cands, candidate{resIdx: op.ResIndex, destIdx: w.TryCInv})
+					}
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return h, false
+	}
+	c := cands[rng.Intn(len(cands))]
+	// Hoist evs[c.resIdx] to position c.destIdx (before the writer's tryC
+	// invocation). No event of the reading transaction lies in between:
+	// the operation was pending over that whole window.
+	moved := evs[c.resIdx]
+	copy(evs[c.destIdx+1:c.resIdx+1], evs[c.destIdx:c.resIdx])
+	evs[c.destIdx] = moved
+	return history.MustFromEvents(evs), true
+}
+
+// MutateAbortWriter flips a committed writer's tryC response to A_k. Any
+// reader of its values becomes a read from an aborted transaction, which
+// every opacity-style criterion rejects (guaranteed under unique writes
+// when the writer had a reader). Returns false if no committed writer's
+// value was read by another transaction.
+func MutateAbortWriter(h *history.History, rng *rand.Rand) (*history.History, bool) {
+	evs := h.Events()
+	type rv struct {
+		obj history.Var
+		val history.Value
+	}
+	readers := make(map[rv][]history.TxnID)
+	for _, k := range h.Txns() {
+		for _, op := range h.Txn(k).Ops {
+			if op.Kind == history.OpRead && !op.Pending && op.Out == history.OutOK {
+				key := rv{op.Obj, op.Val}
+				readers[key] = append(readers[key], k)
+			}
+		}
+	}
+	var cands []int // tryC response event indexes
+	for _, m := range h.Txns() {
+		w := h.Txn(m)
+		if !w.Committed() {
+			continue
+		}
+	scan:
+		for obj, v := range w.LastWrites() {
+			for _, reader := range readers[rv{obj, v}] {
+				if reader != m {
+					// A different transaction read this value: aborting
+					// the writer orphans that read.
+					cands = append(cands, w.TryCRes)
+					break scan
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return h, false
+	}
+	evs[cands[rng.Intn(len(cands))]].Out = history.OutAbort
+	return history.MustFromEvents(evs), true
+}

@@ -1,0 +1,337 @@
+// Package harness drives the STM engines under configurable workloads,
+// measures throughput and abort rates, and certifies recorded episodes
+// against the correctness criteria of package spec. It backs the
+// cmd/stmbench tool, the certification example, and the engine benchmarks.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"duopacity/internal/history"
+	"duopacity/internal/recorder"
+	"duopacity/internal/spec"
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/engines"
+)
+
+// Workload parameterizes a run.
+type Workload struct {
+	Engine           string
+	Objects          int
+	Goroutines       int
+	TxnsPerGoroutine int
+	OpsPerTxn        int
+	// ReadFraction in [0,1] is the probability that an operation reads.
+	ReadFraction float64
+	Seed         int64
+	// MaxAttempts bounds retries per transaction (default 10_000).
+	MaxAttempts int
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Objects == 0 {
+		w.Objects = 8
+	}
+	if w.Goroutines == 0 {
+		w.Goroutines = 4
+	}
+	if w.TxnsPerGoroutine == 0 {
+		w.TxnsPerGoroutine = 100
+	}
+	if w.OpsPerTxn == 0 {
+		w.OpsPerTxn = 4
+	}
+	if w.ReadFraction == 0 {
+		w.ReadFraction = 0.5
+	}
+	if w.MaxAttempts == 0 {
+		w.MaxAttempts = 10_000
+	}
+	return w
+}
+
+// RunStats summarizes a workload run.
+type RunStats struct {
+	Engine   string
+	Commits  int64
+	Aborts   int64 // aborted attempts (retries)
+	Failed   int64 // transactions that exhausted MaxAttempts
+	Duration time.Duration
+}
+
+// TxnPerSec is committed transactions per second.
+func (s RunStats) TxnPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Commits) / s.Duration.Seconds()
+}
+
+// AbortRate is aborted attempts over all attempts.
+func (s RunStats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// txnBody describes one generated transaction: operation kinds and
+// objects; written values are drawn fresh per attempt from the value
+// source so that retries stay distinguishable.
+type txnOp struct {
+	read bool
+	obj  int
+}
+
+// plan precomputes the per-goroutine operation mix so that the measured
+// section does no RNG work.
+func plan(w Workload) [][][]txnOp {
+	all := make([][][]txnOp, w.Goroutines)
+	for g := 0; g < w.Goroutines; g++ {
+		rng := rand.New(rand.NewSource(w.Seed + int64(g)*7919))
+		txns := make([][]txnOp, w.TxnsPerGoroutine)
+		for i := range txns {
+			ops := make([]txnOp, w.OpsPerTxn)
+			for j := range ops {
+				ops[j] = txnOp{read: rng.Float64() < w.ReadFraction, obj: rng.Intn(w.Objects)}
+			}
+			txns[i] = ops
+		}
+		all[g] = txns
+	}
+	return all
+}
+
+// Run executes the workload unrecorded and returns performance statistics.
+func Run(w Workload) (RunStats, error) {
+	w = w.withDefaults()
+	eng, err := engines.New(w.Engine, w.Objects)
+	if err != nil {
+		return RunStats{}, err
+	}
+	plans := plan(w)
+	var commits, aborts, failed atomic.Int64
+	var vals atomic.Int64 // unique written values
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < w.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, ops := range plans[g] {
+				attempts := 0
+				err := stm.AtomicallyN(eng, w.MaxAttempts, func(tx stm.Txn) error {
+					attempts++
+					for _, op := range ops {
+						if op.read {
+							if _, err := tx.Read(op.obj); err != nil {
+								return err
+							}
+						} else if err := tx.Write(op.obj, vals.Add(1)); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					failed.Add(1)
+				} else {
+					commits.Add(1)
+				}
+				aborts.Add(int64(attempts - 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	return RunStats{
+		Engine:   w.Engine,
+		Commits:  commits.Load(),
+		Aborts:   aborts.Load(),
+		Failed:   failed.Load(),
+		Duration: time.Since(start),
+	}, nil
+}
+
+// RunRecorded executes the workload on a fresh engine under the recorder
+// and returns the recorded history with the run's statistics. Written
+// values are globally unique, so the resulting history satisfies the
+// unique-writes hypothesis of Theorem 11 and checks fast.
+func RunRecorded(w Workload) (*history.History, RunStats, error) {
+	w = w.withDefaults()
+	eng, err := engines.New(w.Engine, w.Objects)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	rec := recorder.New(eng)
+	plans := plan(w)
+	var commits, aborts, failed atomic.Int64
+	var vals atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < w.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, ops := range plans[g] {
+				attempts := 0
+				err := atomicallyRecordedN(rec, w.MaxAttempts, func(tx *recorder.Txn) error {
+					attempts++
+					for _, op := range ops {
+						if op.read {
+							if _, err := tx.Read(op.obj); err != nil {
+								return err
+							}
+						} else if err := tx.Write(op.obj, vals.Add(1)); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					failed.Add(1)
+				} else {
+					commits.Add(1)
+				}
+				aborts.Add(int64(attempts - 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	stats := RunStats{
+		Engine:   w.Engine,
+		Commits:  commits.Load(),
+		Aborts:   aborts.Load(),
+		Failed:   failed.Load(),
+		Duration: time.Since(start),
+	}
+	return rec.History(), stats, nil
+}
+
+func atomicallyRecordedN(r *recorder.Recorder, attempts int, fn func(*recorder.Txn) error) error {
+	for i := 0; i < attempts; i++ {
+		tx := r.Begin()
+		err := fn(tx)
+		switch {
+		case err == nil:
+			if cerr := tx.Commit(); cerr == nil {
+				return nil
+			}
+		case err == stm.ErrAborted:
+			tx.Abort()
+		default:
+			tx.Abort()
+			return err
+		}
+	}
+	return stm.ErrAborted
+}
+
+// CertConfig parameterizes certification: Episodes independent small
+// recorded runs (each on a fresh engine, so every value read is explained
+// within its episode), each checked against the criteria.
+type CertConfig struct {
+	Workload
+	Episodes int
+	// NodeLimit bounds each exact check (default 2_000_000 nodes).
+	NodeLimit int
+	// MaxTxns skips episodes whose recorded history exceeds this many
+	// transactions (default 56, under the checker's 64-transaction cap).
+	MaxTxns int
+}
+
+// CertStats aggregates certification outcomes per criterion.
+type CertStats struct {
+	Engine    string
+	Episodes  int
+	Skipped   int
+	Accepted  map[spec.Criterion]int
+	Rejected  map[spec.Criterion]int
+	Undecided map[spec.Criterion]int
+	// FirstReason records the first rejection reason per criterion.
+	FirstReason map[spec.Criterion]string
+}
+
+// Certify runs cfg.Episodes recorded episodes and checks each against the
+// given criteria.
+func Certify(cfg CertConfig, criteria []spec.Criterion) (CertStats, error) {
+	if cfg.Episodes == 0 {
+		cfg.Episodes = 20
+	}
+	if cfg.NodeLimit == 0 {
+		cfg.NodeLimit = 2_000_000
+	}
+	if cfg.MaxTxns == 0 {
+		cfg.MaxTxns = 56
+	}
+	stats := CertStats{
+		Engine:      cfg.Workload.Engine,
+		Accepted:    make(map[spec.Criterion]int),
+		Rejected:    make(map[spec.Criterion]int),
+		Undecided:   make(map[spec.Criterion]int),
+		FirstReason: make(map[spec.Criterion]string),
+	}
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		w := cfg.Workload
+		w.Seed = cfg.Workload.Seed + int64(ep)*104729
+		h, _, err := RunRecorded(w)
+		if err != nil {
+			return stats, err
+		}
+		if h.NumTxns() > cfg.MaxTxns {
+			stats.Skipped++
+			continue
+		}
+		stats.Episodes++
+		for _, c := range criteria {
+			v := spec.Check(h, c, spec.WithNodeLimit(cfg.NodeLimit))
+			switch {
+			case v.Undecided:
+				stats.Undecided[c]++
+			case v.OK:
+				stats.Accepted[c]++
+			default:
+				stats.Rejected[c]++
+				if _, ok := stats.FirstReason[c]; !ok {
+					stats.FirstReason[c] = v.Reason
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// FormatRunTable renders run statistics as an aligned text table.
+func FormatRunTable(rows []RunStats) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tcommits\taborts\tabort-rate\ttxn/s")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.0f\n",
+			r.Engine, r.Commits, r.Aborts, r.AbortRate(), r.TxnPerSec())
+	}
+	_ = tw.Flush()
+	return b.String()
+}
+
+// FormatCertTable renders certification statistics as an aligned text
+// table, one row per criterion.
+func FormatCertTable(s CertStats, criteria []spec.Criterion) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "engine %s: %d episodes (%d skipped)\n", s.Engine, s.Episodes, s.Skipped)
+	fmt.Fprintln(tw, "criterion\taccepted\trejected\tundecided")
+	for _, c := range criteria {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", c, s.Accepted[c], s.Rejected[c], s.Undecided[c])
+	}
+	_ = tw.Flush()
+	return b.String()
+}

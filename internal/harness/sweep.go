@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// SweepConfig describes a two-dimensional parameter sweep: for every
+// engine and every (goroutines, read-fraction) point, run the base
+// workload and record throughput and abort rate. This regenerates the
+// classic STM evaluation series (throughput vs. threads at several read
+// mixes) over the engines the paper discusses.
+type SweepConfig struct {
+	Engines       []string
+	Goroutines    []int
+	ReadFractions []float64
+	Base          Workload // Engine/Goroutines/ReadFraction overridden per point
+}
+
+// SweepPoint is one measured cell.
+type SweepPoint struct {
+	Engine       string
+	Goroutines   int
+	ReadFraction float64
+	Stats        RunStats
+}
+
+// Sweep runs the full grid. Points are measured sequentially so that the
+// cells do not contend with each other.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, eng := range cfg.Engines {
+		for _, g := range cfg.Goroutines {
+			for _, rf := range cfg.ReadFractions {
+				w := cfg.Base
+				w.Engine = eng
+				w.Goroutines = g
+				w.ReadFraction = rf
+				stats, err := Run(w)
+				if err != nil {
+					return nil, fmt.Errorf("harness: sweep %s/g=%d/rf=%.2f: %w", eng, g, rf, err)
+				}
+				out = append(out, SweepPoint{Engine: eng, Goroutines: g, ReadFraction: rf, Stats: stats})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatSweepTable renders the sweep as one table per read fraction:
+// engines down the rows, goroutine counts across the columns, committed
+// transactions per second in the cells (abort rate in parentheses).
+func FormatSweepTable(points []SweepPoint) string {
+	type key struct {
+		rf     float64
+		engine string
+		g      int
+	}
+	cells := make(map[key]RunStats)
+	var rfs []float64
+	var engs []string
+	var gs []int
+	seenRF := map[float64]bool{}
+	seenE := map[string]bool{}
+	seenG := map[int]bool{}
+	for _, p := range points {
+		cells[key{p.ReadFraction, p.Engine, p.Goroutines}] = p.Stats
+		if !seenRF[p.ReadFraction] {
+			seenRF[p.ReadFraction] = true
+			rfs = append(rfs, p.ReadFraction)
+		}
+		if !seenE[p.Engine] {
+			seenE[p.Engine] = true
+			engs = append(engs, p.Engine)
+		}
+		if !seenG[p.Goroutines] {
+			seenG[p.Goroutines] = true
+			gs = append(gs, p.Goroutines)
+		}
+	}
+	var b strings.Builder
+	for _, rf := range rfs {
+		fmt.Fprintf(&b, "read fraction %.2f — committed txn/s (abort rate)\n", rf)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "engine")
+		for _, g := range gs {
+			fmt.Fprintf(tw, "\tg=%d", g)
+		}
+		fmt.Fprintln(tw)
+		for _, e := range engs {
+			fmt.Fprint(tw, e)
+			for _, g := range gs {
+				s := cells[key{rf, e, g}]
+				fmt.Fprintf(tw, "\t%.0fk (%.2f)", s.TxnPerSec()/1000, s.AbortRate())
+			}
+			fmt.Fprintln(tw)
+		}
+		_ = tw.Flush()
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

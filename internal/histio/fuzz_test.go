@@ -1,0 +1,49 @@
+package histio
+
+import (
+	"strings"
+	"testing"
+
+	"duopacity/internal/litmus"
+)
+
+// FuzzParse checks the parser never panics and that everything it accepts
+// round-trips through Format into an equivalent history. The litmus
+// figures seed the corpus (go test runs the seeds; go test -fuzz explores
+// further).
+func FuzzParse(f *testing.F) {
+	for _, c := range litmus.Cases() {
+		f.Add(FormatString(c.H))
+	}
+	f.Add("write 1 X 1\ncommit 1\nread 2 X 1\ncommit 2\n")
+	f.Add("# comment\n\ninv read 1 X\nres read 1 X A\n")
+	f.Add("abort 1\nwrite 2 Y -3\ncommit 2 A\n")
+	f.Add("inv tryc 1\nres tryc 1 C\n")
+	f.Add("read 1 X 9999999999999\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := ParseString(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := FormatString(h)
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, out)
+		}
+		if back.Len() != h.Len() || !back.Equivalent(h) {
+			t.Fatalf("round trip changed the history:\nin:\n%s\nout:\n%s", src, out)
+		}
+	})
+}
+
+// FuzzParseStability feeds adversarial separators and partial tokens.
+func FuzzParseStability(f *testing.F) {
+	f.Add("inv")
+	f.Add("res read")
+	f.Add("write 1")
+	f.Add("commit")
+	f.Add(strings.Repeat("read 1 X 0\n", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseString(src) // must not panic
+	})
+}

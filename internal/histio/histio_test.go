@@ -1,0 +1,174 @@
+package histio
+
+import (
+	"strings"
+	"testing"
+
+	"duopacity/internal/gen"
+	"duopacity/internal/history"
+	"duopacity/internal/litmus"
+)
+
+func TestRoundTripLitmus(t *testing.T) {
+	for _, c := range litmus.Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			text := FormatString(c.H)
+			back, err := ParseString(text)
+			if err != nil {
+				t.Fatalf("parse back: %v\n%s", err, text)
+			}
+			if back.Len() != c.H.Len() {
+				t.Fatalf("round trip changed length: %d -> %d", c.H.Len(), back.Len())
+			}
+			for i := 0; i < back.Len(); i++ {
+				if back.At(i) != c.H.At(i) {
+					t.Fatalf("event %d: %v -> %v", i, c.H.At(i), back.At(i))
+				}
+			}
+		})
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		h := gen.DUOpaque(gen.Config{
+			Txns: 6, Objects: 3, OpsPerTxn: 3,
+			PAbort: 0.2, PCommitPending: 0.1, PNoTryC: 0.1, PPendingOp: 0.1,
+			Seed: seed,
+		})
+		back, err := ParseString(FormatString(h))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !h.Equivalent(back) || back.Len() != h.Len() {
+			t.Fatalf("seed %d: round trip not identical", seed)
+		}
+	}
+}
+
+func TestParseShorthand(t *testing.T) {
+	src := `
+# Figure 3 of the paper, shorthand form.
+write 1 X 1
+read 2 X 1
+commit 1
+commit 2
+`
+	h, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 8 || h.NumTxns() != 2 {
+		t.Fatalf("parsed %d events, %d txns; want 8, 2", h.Len(), h.NumTxns())
+	}
+	if !h.Txn(1).Committed() || !h.Txn(2).Committed() {
+		t.Fatal("commits not parsed")
+	}
+}
+
+func TestParseShorthandVariants(t *testing.T) {
+	src := `
+write 1 X 5 A    # write aborted the transaction
+read 2 X A       # read aborted the transaction
+commit 3 A       # tryC returned A
+abort 4          # tryA
+read 5 Y 0
+`
+	h, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Txn(1).Aborted() || !h.Txn(2).Aborted() || !h.Txn(3).Aborted() || !h.Txn(4).Aborted() {
+		t.Fatal("aborts not parsed correctly")
+	}
+	if h.Txn(5).TComplete() {
+		t.Fatal("T5 should be complete but not t-complete")
+	}
+}
+
+func TestParseEventForm(t *testing.T) {
+	src := `
+inv write 1 X 1
+inv read 2 X
+res write 1 X 1 ok
+inv tryc 1
+res read 2 X 0
+res tryc 1 C
+inv trya 2
+res trya 2 A
+`
+	h, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 8 {
+		t.Fatalf("parsed %d events, want 8", h.Len())
+	}
+	if !h.Overlap(1, 2) {
+		t.Fatal("interleaved transactions should overlap")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown directive", "foo 1 X", "unknown directive"},
+		{"bad txn id", "read zero X 1", "invalid transaction id"},
+		{"txn id zero", "read 0 X 1", "invalid transaction id"},
+		{"bad value", "write 1 X abc", "invalid value"},
+		{"bad write outcome", "write 1 X 1 ok", "write outcome must be A"},
+		{"short event", "inv read 1", "wants an object"},
+		{"bad tryc outcome", "inv tryc 1\nres tryc 1 X", "tryc outcome"},
+		{"malformed history", "res read 1 X 1", "response without matching"},
+		{"short line", "inv", "too short"},
+		{"bad commit outcome", "commit 1 C", "commit outcome must be A"},
+		{"abort args", "abort 1 2", "abort wants 1 argument"},
+		{"bad res write outcome", "inv write 1 X 1\nres write 1 X 1 yes", "must be ok or A"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "  \n# full comment line\nwrite 1 X 1 # trailing comment\ncommit 1\n\n"
+	h, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("parsed %d events, want 4", h.Len())
+	}
+}
+
+func TestFormatMatchesDocumentedGrammar(t *testing.T) {
+	h := history.NewBuilder().
+		InvWrite(1, "X", 1).ResWrite(1, "X", 1).
+		InvRead(2, "X").ResRead(2, "X", 0).
+		InvTryCommit(1).ResCommit(1).
+		InvTryAbort(2).ResAbort(2).
+		History()
+	got := FormatString(h)
+	want := `inv write 1 X 1
+res write 1 X 1 ok
+inv read 2 X
+res read 2 X 0
+inv tryc 1
+res tryc 1 C
+inv trya 2
+res trya 2 A
+`
+	if got != want {
+		t.Fatalf("Format output:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,60 @@
+package history
+
+import "sort"
+
+// CommitPendingTxns returns the transactions with an incomplete tryC — the
+// only degrees of freedom a completion of the history has (Definition 2):
+// each may be completed with C_k or A_k. Every other incomplete transaction
+// is necessarily aborted by a completion.
+func (h *History) CommitPendingTxns() []TxnID {
+	var out []TxnID
+	for _, k := range h.ids {
+		if h.txns[k].CommitPending() {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Completion materializes one completion of the history per Definition 2:
+//
+//   - for every incomplete read/write/tryA operation, a response A_k is
+//     appended after the invocation (at the end of the history, which is
+//     "somewhere after the invocation");
+//   - for every incomplete tryC of T_k, C_k is appended if commit[k] is
+//     true, A_k otherwise;
+//   - for every transaction that is complete but not t-complete,
+//     tryC_k · A_k is appended after its last event.
+//
+// The result is a well-formed t-complete history. Appended events are
+// ordered by transaction id to make the construction deterministic.
+func (h *History) Completion(commit map[TxnID]bool) *History {
+	evs := append([]Event(nil), h.events...)
+	ids := append([]TxnID(nil), h.ids...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, k := range ids {
+		t := h.txns[k]
+		if t.TComplete() {
+			continue
+		}
+		if op, ok := t.PendingOp(); ok {
+			out := OutAbort
+			if op.Kind == OpTryCommit && commit[k] {
+				out = OutCommit
+			}
+			evs = append(evs, Event{Kind: Res, Op: op.Kind, Txn: k, Obj: op.Obj, Arg: op.Arg, Out: out})
+			continue
+		}
+		// Complete but not t-complete.
+		evs = append(evs,
+			Event{Kind: Inv, Op: OpTryCommit, Txn: k},
+			Event{Kind: Res, Op: OpTryCommit, Txn: k, Out: OutAbort},
+		)
+	}
+	c, err := FromEvents(evs)
+	if err != nil {
+		// A completion of a well-formed history is always well-formed.
+		panic("history: completion unexpectedly malformed: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,418 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoTxnOverlap builds W1(X,1)·C1 overlapping R2(X)->1·C2.
+func twoTxnOverlap() *History {
+	return NewBuilder().
+		InvWrite(1, "X", 1).
+		InvRead(2, "X").
+		ResWrite(1, "X", 1).
+		Commit(1).
+		ResRead(2, "X", 1).
+		Commit(2).
+		History()
+}
+
+func TestFromEventsValid(t *testing.T) {
+	h := twoTxnOverlap()
+	if h.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", h.Len())
+	}
+	if got := h.NumTxns(); got != 2 {
+		t.Fatalf("NumTxns = %d, want 2", got)
+	}
+	if ids := h.Txns(); ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("Txns = %v, want [1 2]", ids)
+	}
+}
+
+func TestFromEventsRejectsMalformed(t *testing.T) {
+	inv := func(k TxnID, op OpKind, obj Var, arg Value) Event {
+		return Event{Kind: Inv, Op: op, Txn: k, Obj: obj, Arg: arg}
+	}
+	res := func(k TxnID, op OpKind, obj Var, arg, val Value, out Outcome) Event {
+		return Event{Kind: Res, Op: op, Txn: k, Obj: obj, Arg: arg, Val: val, Out: out}
+	}
+	tests := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{
+			name: "response without invocation",
+			evs:  []Event{res(1, OpRead, "X", 0, 0, OutOK)},
+			want: "response without matching pending invocation",
+		},
+		{
+			name: "two pending invocations",
+			evs:  []Event{inv(1, OpRead, "X", 0), inv(1, OpWrite, "Y", 1)},
+			want: "invocation while another operation is pending",
+		},
+		{
+			name: "mismatched response object",
+			evs:  []Event{inv(1, OpRead, "X", 0), res(1, OpRead, "Y", 0, 0, OutOK)},
+			want: "does not match pending",
+		},
+		{
+			name: "event after commit",
+			evs: []Event{
+				inv(1, OpTryCommit, "", 0), res(1, OpTryCommit, "", 0, 0, OutCommit),
+				inv(1, OpRead, "X", 0),
+			},
+			want: "after transaction is t-complete",
+		},
+		{
+			name: "event after abort",
+			evs: []Event{
+				inv(1, OpRead, "X", 0), res(1, OpRead, "X", 0, 0, OutAbort),
+				inv(1, OpRead, "Y", 0),
+			},
+			want: "after transaction is t-complete",
+		},
+		{
+			name: "operation after tryC invocation",
+			evs: []Event{
+				inv(1, OpTryCommit, "", 0), res(1, OpTryCommit, "", 0, 0, OutCommit),
+			},
+			want: "", // valid; control case
+		},
+		{
+			name: "write response with wrong argument",
+			evs:  []Event{inv(1, OpWrite, "X", 1), res(1, OpWrite, "X", 2, 0, OutOK)},
+			want: "does not match pending",
+		},
+		{
+			name: "tryA returning commit",
+			evs:  []Event{inv(1, OpTryAbort, "", 0), res(1, OpTryAbort, "", 0, 0, OutCommit)},
+			want: "does not match pending",
+		},
+		{
+			name: "tryC returning ok",
+			evs:  []Event{inv(1, OpTryCommit, "", 0), res(1, OpTryCommit, "", 0, 0, OutOK)},
+			want: "does not match pending",
+		},
+		{
+			name: "reserved transaction id",
+			evs:  []Event{inv(0, OpRead, "X", 0)},
+			want: "reserved",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromEvents(tc.evs)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("FromEvents: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("FromEvents: want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("FromEvents: error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTxnClassification(t *testing.T) {
+	b := NewBuilder()
+	b.Write(1, "X", 1).Commit(1)                   // committed
+	b.Read(2, "X", 1).Abort(2)                     // aborted via tryA
+	b.Read(3, "X", 1).InvTryCommit(3)              // commit-pending
+	b.InvRead(4, "X")                              // pending read
+	b.Read(5, "X", 1)                              // complete, not t-complete
+	b.InvWrite(6, "Y", 2).ResWriteAbort(6, "Y", 2) // aborted by the write
+	h := b.History()
+
+	tests := []struct {
+		k                                                TxnID
+		complete, tcomplete, committed, aborted, pending bool
+	}{
+		{1, true, true, true, false, false},
+		{2, true, true, false, true, false},
+		{3, false, false, false, false, true},
+		{4, false, false, false, false, false},
+		{5, true, false, false, false, false},
+		{6, true, true, false, true, false},
+	}
+	for _, tc := range tests {
+		tx := h.Txn(tc.k)
+		if tx == nil {
+			t.Fatalf("T%d missing", tc.k)
+		}
+		if got := tx.Complete(); got != tc.complete {
+			t.Errorf("T%d.Complete = %v, want %v", tc.k, got, tc.complete)
+		}
+		if got := tx.TComplete(); got != tc.tcomplete {
+			t.Errorf("T%d.TComplete = %v, want %v", tc.k, got, tc.tcomplete)
+		}
+		if got := tx.Committed(); got != tc.committed {
+			t.Errorf("T%d.Committed = %v, want %v", tc.k, got, tc.committed)
+		}
+		if got := tx.Aborted(); got != tc.aborted {
+			t.Errorf("T%d.Aborted = %v, want %v", tc.k, got, tc.aborted)
+		}
+		if got := tx.CommitPending(); got != tc.pending {
+			t.Errorf("T%d.CommitPending = %v, want %v", tc.k, got, tc.pending)
+		}
+	}
+	if h.Complete() {
+		t.Error("history with pending reads reported complete")
+	}
+	if h.TComplete() {
+		t.Error("history with live transactions reported t-complete")
+	}
+}
+
+func TestCommitPendingTxns(t *testing.T) {
+	b := NewBuilder()
+	b.Write(1, "X", 1).InvTryCommit(1)
+	b.Write(2, "X", 2).Commit(2)
+	b.Read(3, "X", 2).InvTryCommit(3)
+	h := b.History()
+	got := h.CommitPendingTxns()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("CommitPendingTxns = %v, want [1 3]", got)
+	}
+}
+
+func TestRealTimeOrder(t *testing.T) {
+	// T1 fully precedes T2; T3 overlaps both.
+	b := NewBuilder()
+	b.InvRead(3, "Z")
+	b.Write(1, "X", 1).Commit(1)
+	b.Write(2, "X", 2).Commit(2)
+	b.ResRead(3, "Z", 0)
+	h := b.History()
+
+	if !h.RealTimePrecedes(1, 2) {
+		t.Error("want T1 ≺RT T2")
+	}
+	if h.RealTimePrecedes(2, 1) {
+		t.Error("T2 ≺RT T1 should not hold")
+	}
+	for _, k := range []TxnID{1, 2} {
+		if h.RealTimePrecedes(3, k) || h.RealTimePrecedes(k, 3) {
+			t.Errorf("T3 and T%d should overlap", k)
+		}
+		if !h.Overlap(3, k) {
+			t.Errorf("Overlap(3,%d) = false", k)
+		}
+	}
+	if h.Overlap(1, 2) {
+		t.Error("Overlap(1,2) = true, want false")
+	}
+	preds := h.RealTimePredecessors()
+	if len(preds[2]) != 1 || preds[2][0] != 1 {
+		t.Errorf("preds[2] = %v, want [1]", preds[2])
+	}
+	if len(preds[1]) != 0 || len(preds[3]) != 0 {
+		t.Errorf("preds[1] = %v, preds[3] = %v, want empty", preds[1], preds[3])
+	}
+}
+
+func TestRealTimeRequiresTComplete(t *testing.T) {
+	// T1 is complete but not t-complete; even though its span precedes T2's,
+	// the paper's ≺RT requires t-completeness.
+	b := NewBuilder()
+	b.Write(1, "X", 1)
+	b.Write(2, "Y", 2).Commit(2)
+	h := b.History()
+	if h.RealTimePrecedes(1, 2) {
+		t.Error("T1 is not t-complete: T1 ≺RT T2 must not hold")
+	}
+	if !h.Overlap(1, 2) {
+		t.Error("T1 and T2 should overlap")
+	}
+}
+
+func TestLiveSetAndSucceeds(t *testing.T) {
+	// T1 [0..3], T2 [2..7], T3 [8..11]: Lset(T1) = {T1, T2};
+	// T3 succeeds the live set of T1.
+	b := NewBuilder()
+	b.InvWrite(1, "X", 1)
+	b.ResWrite(1, "X", 1)
+	b.InvWrite(2, "Y", 2)
+	b.Commit(1)
+	b.ResWrite(2, "Y", 2)
+	b.Commit(2)
+	b.Write(3, "Z", 3).Commit(3)
+	h := b.History()
+
+	live := h.LiveSet(1)
+	if len(live) != 2 || live[0] != 1 || live[1] != 2 {
+		t.Fatalf("LiveSet(1) = %v, want [1 2]", live)
+	}
+	if !h.SucceedsLiveSet(1, 3) {
+		t.Error("T1 ≺LS T3 should hold")
+	}
+	if h.SucceedsLiveSet(1, 2) {
+		t.Error("T1 ≺LS T2 must not hold (T2 is in Lset(T1))")
+	}
+	if h.SucceedsLiveSet(2, 3) != true {
+		t.Error("T2 ≺LS T3 should hold")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	h := twoTxnOverlap()
+	p := h.Prefix(3) // inv W1, inv R2, res W1
+	if p.Len() != 3 {
+		t.Fatalf("prefix Len = %d, want 3", p.Len())
+	}
+	if p.Txn(1).Complete() != true {
+		t.Error("T1 should be complete in prefix")
+	}
+	if _, ok := p.Txn(2).PendingOp(); !ok {
+		t.Error("T2 should have a pending read in prefix")
+	}
+	if p.Txn(1).TComplete() {
+		t.Error("T1 should not be t-complete in prefix")
+	}
+	// Prefix of length 0 and full length are valid.
+	if h.Prefix(0).Len() != 0 || h.Prefix(h.Len()).Len() != h.Len() {
+		t.Error("boundary prefixes wrong")
+	}
+}
+
+func TestPrefixOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prefix(-1) did not panic")
+		}
+	}()
+	twoTxnOverlap().Prefix(-1)
+}
+
+func TestEquivalent(t *testing.T) {
+	h := twoTxnOverlap()
+	// Same per-transaction sequences, different interleaving.
+	g := NewBuilder().
+		InvRead(2, "X").
+		InvWrite(1, "X", 1).
+		ResWrite(1, "X", 1).
+		Commit(1).
+		ResRead(2, "X", 1).
+		Commit(2).
+		History()
+	if !h.Equivalent(g) {
+		t.Error("equivalent histories reported different")
+	}
+	// Different read value.
+	g2 := NewBuilder().
+		InvWrite(1, "X", 1).
+		InvRead(2, "X").
+		ResWrite(1, "X", 1).
+		Commit(1).
+		ResRead(2, "X", 0).
+		Commit(2).
+		History()
+	if h.Equivalent(g2) {
+		t.Error("histories with different read values reported equivalent")
+	}
+	// Missing transaction.
+	g3 := NewBuilder().Write(1, "X", 1).Commit(1).History()
+	if h.Equivalent(g3) {
+		t.Error("histories with different txns reported equivalent")
+	}
+}
+
+func TestReadWriteSets(t *testing.T) {
+	b := NewBuilder()
+	b.Read(1, "X", 0).Write(1, "Y", 1).Write(1, "Y", 2).Write(1, "Z", 3)
+	b.InvRead(1, "W") // pending read does not count
+	h := b.History()
+	tx := h.Txn(1)
+	rs := tx.ReadSet()
+	if len(rs) != 1 || !rs["X"] {
+		t.Errorf("ReadSet = %v, want {X}", rs)
+	}
+	ws := tx.WriteSet()
+	if len(ws) != 2 || !ws["Y"] || !ws["Z"] {
+		t.Errorf("WriteSet = %v, want {Y Z}", ws)
+	}
+	lw := tx.LastWrites()
+	if lw["Y"] != 2 || lw["Z"] != 3 {
+		t.Errorf("LastWrites = %v, want Y:2 Z:3", lw)
+	}
+}
+
+func TestTSequential(t *testing.T) {
+	serial := NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Read(2, "X", 1).Commit(2).
+		History()
+	if !serial.TSequential() {
+		t.Error("serial history reported non-t-sequential")
+	}
+	if twoTxnOverlap().TSequential() {
+		t.Error("overlapping history reported t-sequential")
+	}
+}
+
+func TestVars(t *testing.T) {
+	b := NewBuilder()
+	b.Write(1, "B", 1).Read(1, "A", 0).Commit(1)
+	h := b.History()
+	vs := h.Vars()
+	if len(vs) != 2 || vs[0] != "A" || vs[1] != "B" {
+		t.Fatalf("Vars = %v, want [A B]", vs)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: Inv, Op: OpRead, Txn: 2, Obj: "X"}, "inv read_2(X)"},
+		{Event{Kind: Res, Op: OpRead, Txn: 2, Obj: "X", Val: 1, Out: OutOK}, "res read_2(X)->1"},
+		{Event{Kind: Res, Op: OpRead, Txn: 2, Obj: "X", Out: OutAbort}, "res read_2(X)->A"},
+		{Event{Kind: Inv, Op: OpWrite, Txn: 1, Obj: "Y", Arg: 7}, "inv write_1(Y,7)"},
+		{Event{Kind: Res, Op: OpWrite, Txn: 1, Obj: "Y", Arg: 7, Out: OutOK}, "res write_1(Y,7)->ok"},
+		{Event{Kind: Inv, Op: OpTryCommit, Txn: 3}, "inv tryC_3"},
+		{Event{Kind: Res, Op: OpTryCommit, Txn: 3, Out: OutCommit}, "res tryC_3->C"},
+		{Event{Kind: Res, Op: OpTryAbort, Txn: 3, Out: OutAbort}, "res tryA_3->A"},
+	}
+	for _, tc := range tests {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestHistoryStringContainsEvents(t *testing.T) {
+	s := twoTxnOverlap().String()
+	for _, want := range []string{"inv write_1(X,1)", "res read_2(X)->1", "res tryC_2->C"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("History.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTryCIndexes(t *testing.T) {
+	b := NewBuilder()
+	b.Write(1, "X", 1)
+	b.InvTryCommit(1)
+	b.InvRead(2, "X")
+	b.ResRead(2, "X", 1)
+	b.ResCommit(1)
+	h := b.History()
+	t1 := h.Txn(1)
+	if t1.TryCInv != 2 {
+		t.Errorf("TryCInv = %d, want 2", t1.TryCInv)
+	}
+	if t1.TryCRes != 5 {
+		t.Errorf("TryCRes = %d, want 5", t1.TryCRes)
+	}
+	t2 := h.Txn(2)
+	if t2.TryCInv != -1 || t2.TryCRes != -1 {
+		t.Errorf("T2 tryC indexes = %d,%d, want -1,-1", t2.TryCInv, t2.TryCRes)
+	}
+}

@@ -1,0 +1,77 @@
+package history
+
+// RealTimePrecedes reports whether T_k ≺RT_H T_m: T_k is t-complete in H and
+// the last event of T_k precedes the first event of T_m.
+func (h *History) RealTimePrecedes(k, m TxnID) bool {
+	tk, tm := h.txns[k], h.txns[m]
+	if tk == nil || tm == nil || k == m {
+		return false
+	}
+	return tk.TComplete() && tk.Last < tm.First
+}
+
+// Overlap reports whether T_k and T_m overlap in H: neither T_k ≺RT T_m nor
+// T_m ≺RT T_k.
+func (h *History) Overlap(k, m TxnID) bool {
+	return !h.RealTimePrecedes(k, m) && !h.RealTimePrecedes(m, k)
+}
+
+// RealTimePredecessors returns, for each transaction, the set of
+// transactions that precede it in the real-time order of H. The checkers
+// use this as the mandatory ordering constraint of serializations
+// (Definition 3, condition 2).
+func (h *History) RealTimePredecessors() map[TxnID][]TxnID {
+	preds := make(map[TxnID][]TxnID, len(h.ids))
+	for _, m := range h.ids {
+		var ps []TxnID
+		for _, k := range h.ids {
+			if h.RealTimePrecedes(k, m) {
+				ps = append(ps, k)
+			}
+		}
+		preds[m] = ps
+	}
+	return preds
+}
+
+// spansIntersect reports whether the event spans [aFirst,aLast] and
+// [bFirst,bLast] are not disjoint.
+func spansIntersect(aFirst, aLast, bFirst, bLast int) bool {
+	return !(aLast < bFirst || bLast < aFirst)
+}
+
+// LiveSet returns Lset_H(T_k): every transaction T' (including T_k itself)
+// such that neither the last event of T' precedes the first event of T_k
+// nor the last event of T_k precedes the first event of T' — i.e. the
+// transactions whose event spans intersect T_k's span.
+func (h *History) LiveSet(k TxnID) []TxnID {
+	tk := h.txns[k]
+	if tk == nil {
+		return nil
+	}
+	var live []TxnID
+	for _, m := range h.ids {
+		tm := h.txns[m]
+		if spansIntersect(tk.First, tk.Last, tm.First, tm.Last) {
+			live = append(live, m)
+		}
+	}
+	return live
+}
+
+// SucceedsLiveSet reports whether T_m succeeds the live set of T_k
+// (T_k ≺LS_H T_m): every T” in Lset_H(T_k) is complete in H and the last
+// event of T” precedes the first event of T_m.
+func (h *History) SucceedsLiveSet(k, m TxnID) bool {
+	tm := h.txns[m]
+	if tm == nil {
+		return false
+	}
+	for _, x := range h.LiveSet(k) {
+		tx := h.txns[x]
+		if !tx.Complete() || tx.Last >= tm.First {
+			return false
+		}
+	}
+	return true
+}

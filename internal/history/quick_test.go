@@ -1,0 +1,256 @@
+package history
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randHistory is a testing/quick generator of arbitrary well-formed
+// histories — including semantically inconsistent ones (random read
+// values, random outcomes), since the model-level invariants under test
+// must hold for every well-formed history.
+type randHistory struct {
+	H *History
+}
+
+// Generate implements quick.Generator.
+func (randHistory) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(randHistory{H: generateHistory(r, size)})
+}
+
+func generateHistory(r *rand.Rand, size int) *History {
+	nTxns := 1 + r.Intn(6)
+	type state struct {
+		pending *Event // pending invocation
+		done    bool
+	}
+	states := make([]state, nTxns+1)
+	var evs []Event
+	steps := 4 + r.Intn(4*size+8)
+	for i := 0; i < steps; i++ {
+		k := TxnID(1 + r.Intn(nTxns))
+		st := &states[k]
+		if st.done {
+			continue
+		}
+		if st.pending != nil {
+			// Respond (sometimes leave pending forever).
+			if r.Intn(8) == 0 {
+				continue
+			}
+			inv := *st.pending
+			res := Event{Kind: Res, Op: inv.Op, Txn: k, Obj: inv.Obj, Arg: inv.Arg}
+			switch inv.Op {
+			case OpRead:
+				if r.Intn(5) == 0 {
+					res.Out = OutAbort
+					st.done = true
+				} else {
+					res.Out = OutOK
+					res.Val = Value(r.Intn(4))
+				}
+			case OpWrite:
+				if r.Intn(8) == 0 {
+					res.Out = OutAbort
+					st.done = true
+				} else {
+					res.Out = OutOK
+				}
+			case OpTryCommit:
+				if r.Intn(2) == 0 {
+					res.Out = OutCommit
+				} else {
+					res.Out = OutAbort
+				}
+				st.done = true
+			case OpTryAbort:
+				res.Out = OutAbort
+				st.done = true
+			}
+			st.pending = nil
+			evs = append(evs, res)
+			continue
+		}
+		// Invoke something.
+		var inv Event
+		switch r.Intn(10) {
+		case 0:
+			inv = Event{Kind: Inv, Op: OpTryCommit, Txn: k}
+		case 1:
+			inv = Event{Kind: Inv, Op: OpTryAbort, Txn: k}
+		case 2, 3, 4, 5:
+			inv = Event{Kind: Inv, Op: OpRead, Txn: k, Obj: Var(rune('X' + r.Intn(3)))}
+		default:
+			inv = Event{Kind: Inv, Op: OpWrite, Txn: k, Obj: Var(rune('X' + r.Intn(3))), Arg: Value(r.Intn(4))}
+		}
+		st.pending = &inv
+		evs = append(evs, inv)
+	}
+	h, err := FromEvents(evs)
+	if err != nil {
+		panic("generator produced malformed history: " + err.Error())
+	}
+	return h
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickEventsRoundTrip(t *testing.T) {
+	prop := func(rh randHistory) bool {
+		back, err := FromEvents(rh.H.Events())
+		return err == nil && back.Len() == rh.H.Len() && back.Equivalent(rh.H)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixesWellFormed(t *testing.T) {
+	prop := func(rh randHistory) bool {
+		h := rh.H
+		for i := 0; i <= h.Len(); i++ {
+			p := h.Prefix(i)
+			if p.Len() != i {
+				return false
+			}
+			// A prefix of the prefix is the same as a direct prefix.
+			if i > 0 && p.Prefix(i-1).Len() != i-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRealTimeIsStrictPartialOrder(t *testing.T) {
+	prop := func(rh randHistory) bool {
+		h := rh.H
+		ids := h.Txns()
+		for _, a := range ids {
+			if h.RealTimePrecedes(a, a) {
+				return false // irreflexive
+			}
+			for _, b := range ids {
+				if h.RealTimePrecedes(a, b) && h.RealTimePrecedes(b, a) {
+					return false // antisymmetric
+				}
+				for _, c := range ids {
+					if h.RealTimePrecedes(a, b) && h.RealTimePrecedes(b, c) && !h.RealTimePrecedes(a, c) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLiveSetSymmetric(t *testing.T) {
+	prop := func(rh randHistory) bool {
+		h := rh.H
+		in := func(set []TxnID, k TxnID) bool {
+			for _, x := range set {
+				if x == k {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range h.Txns() {
+			la := h.LiveSet(a)
+			if !in(la, a) {
+				return false // T is in its own live set
+			}
+			for _, b := range h.Txns() {
+				if in(la, b) != in(h.LiveSet(b), a) {
+					return false // span intersection is symmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompletionIsTComplete(t *testing.T) {
+	prop := func(rh randHistory, commitBits uint8) bool {
+		h := rh.H
+		commit := make(map[TxnID]bool)
+		for i, k := range h.CommitPendingTxns() {
+			commit[k] = commitBits&(1<<uint(i%8)) != 0
+		}
+		c := h.Completion(commit)
+		if !c.TComplete() {
+			return false
+		}
+		// The completion preserves every already-complete operation.
+		for _, k := range h.Txns() {
+			orig, comp := h.Txn(k), c.Txn(k)
+			for i, op := range orig.Ops {
+				if op.Pending {
+					continue
+				}
+				if !sameOp(op, comp.Ops[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSeqFromHistoryMatchesCompletion(t *testing.T) {
+	prop := func(rh randHistory) bool {
+		h := rh.H
+		order := h.Txns()
+		commit := make(map[TxnID]bool)
+		for _, k := range h.CommitPendingTxns() {
+			commit[k] = true
+		}
+		s, err := SeqFromHistory(h, order, commit)
+		if err != nil {
+			return false
+		}
+		return s.MatchesCompletionOf(h) == nil
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapComplement(t *testing.T) {
+	// Overlap is exactly the complement of ≺RT in either direction, and
+	// overlapping is symmetric.
+	prop := func(rh randHistory) bool {
+		h := rh.H
+		for _, a := range h.Txns() {
+			for _, b := range h.Txns() {
+				if a == b {
+					continue
+				}
+				o := h.Overlap(a, b)
+				want := !h.RealTimePrecedes(a, b) && !h.RealTimePrecedes(b, a)
+				if o != want || o != h.Overlap(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

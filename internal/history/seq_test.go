@@ -1,0 +1,265 @@
+package history
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustSeq(t *testing.T, h *History, order []TxnID, commit map[TxnID]bool) *Seq {
+	t.Helper()
+	s, err := SeqFromHistory(h, order, commit)
+	if err != nil {
+		t.Fatalf("SeqFromHistory: %v", err)
+	}
+	return s
+}
+
+func TestSeqLegalBasic(t *testing.T) {
+	// T1 writes X=1 and commits; T2 reads X=1 and commits.
+	h := NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Read(2, "X", 1).Commit(2).
+		History()
+	s := mustSeq(t, h, []TxnID{1, 2}, nil)
+	if err := s.Legal(); err != nil {
+		t.Fatalf("Legal: %v", err)
+	}
+	// The opposite order is illegal: T2 would read 1 from T_0's state 0.
+	s2 := mustSeq(t, h, []TxnID{2, 1}, nil)
+	var ire *IllegalReadError
+	if err := s2.Legal(); !errors.As(err, &ire) {
+		t.Fatalf("Legal = %v, want IllegalReadError", err)
+	} else if ire.Txn != 2 || ire.Want != 0 {
+		t.Fatalf("IllegalReadError = %+v, want txn 2 expecting 0", ire)
+	}
+}
+
+func TestSeqLegalInitialValue(t *testing.T) {
+	h := NewBuilder().Read(1, "X", 0).Commit(1).History()
+	s := mustSeq(t, h, []TxnID{1}, nil)
+	if err := s.Legal(); err != nil {
+		t.Fatalf("read of initial value must be legal: %v", err)
+	}
+	h2 := NewBuilder().Read(1, "X", 5).Commit(1).History()
+	s2 := mustSeq(t, h2, []TxnID{1}, nil)
+	if err := s2.Legal(); err == nil {
+		t.Fatal("read of unwritten value 5 must be illegal")
+	}
+}
+
+func TestSeqLegalOwnWrites(t *testing.T) {
+	// A transaction reads its own latest write, not the committed state.
+	h := NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Write(2, "X", 2).Write(2, "X", 3).Read(2, "X", 3).Commit(2).
+		History()
+	s := mustSeq(t, h, []TxnID{1, 2}, nil)
+	if err := s.Legal(); err != nil {
+		t.Fatalf("Legal: %v", err)
+	}
+	// Reading the first own write instead of the latest is illegal.
+	h2 := NewBuilder().
+		Write(2, "X", 2).Write(2, "X", 3).Read(2, "X", 2).Commit(2).
+		History()
+	s2 := mustSeq(t, h2, []TxnID{2}, nil)
+	if err := s2.Legal(); err == nil {
+		t.Fatal("stale own-write read must be illegal")
+	}
+}
+
+func TestSeqLegalAbortedWritesInvisible(t *testing.T) {
+	// T1 writes X=1 but aborts; T2 must read 0.
+	h := NewBuilder().
+		Write(1, "X", 1).CommitAbort(1).
+		Read(2, "X", 0).Commit(2).
+		History()
+	s := mustSeq(t, h, []TxnID{1, 2}, nil)
+	if err := s.Legal(); err != nil {
+		t.Fatalf("Legal: %v", err)
+	}
+	hBad := NewBuilder().
+		Write(1, "X", 1).CommitAbort(1).
+		Read(2, "X", 1).Commit(2).
+		History()
+	sBad := mustSeq(t, hBad, []TxnID{1, 2}, nil)
+	if err := sBad.Legal(); err == nil {
+		t.Fatal("reading an aborted transaction's write must be illegal")
+	}
+}
+
+func TestSeqLegalAbortedReaderStillChecked(t *testing.T) {
+	// Reads of an aborted transaction that returned values must be legal.
+	h := NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Read(2, "X", 7).Abort(2).
+		History()
+	s := mustSeq(t, h, []TxnID{1, 2}, nil)
+	if err := s.Legal(); err == nil {
+		t.Fatal("aborted reader with impossible value must be illegal")
+	}
+}
+
+func TestSeqFromHistoryCompletionRules(t *testing.T) {
+	b := NewBuilder()
+	b.Write(1, "X", 1).InvTryCommit(1) // commit-pending
+	b.InvRead(2, "X")                  // pending read
+	b.Read(3, "X", 0)                  // complete, not t-complete
+	h := b.History()
+
+	s := mustSeq(t, h, []TxnID{3, 1, 2}, map[TxnID]bool{1: true})
+	// T1 committed by decision.
+	if !s.Txns[1].Committed() {
+		t.Error("T1 should be committed by the completion decision")
+	}
+	// T2's pending read completed with A.
+	t2 := s.Txns[2]
+	if last := t2.Ops[len(t2.Ops)-1]; last.Kind != OpRead || last.Out != OutAbort || last.Pending {
+		t.Errorf("T2 last op = %v, want aborted read", last)
+	}
+	// T3 got a synthetic tryC·A with InvIndex -1.
+	t3 := s.Txns[0]
+	if last := t3.Ops[len(t3.Ops)-1]; last.Kind != OpTryCommit || last.Out != OutAbort || last.InvIndex != -1 {
+		t.Errorf("T3 last op = %v, want synthetic tryC->A", last)
+	}
+	if err := s.MatchesCompletionOf(h); err != nil {
+		t.Errorf("MatchesCompletionOf: %v", err)
+	}
+	// Default decision (absent from map) aborts a pending tryC.
+	s2 := mustSeq(t, h, []TxnID{3, 1, 2}, nil)
+	if s2.Txns[1].Committed() {
+		t.Error("T1 should abort without a commit decision")
+	}
+}
+
+func TestSeqFromHistoryErrors(t *testing.T) {
+	h := NewBuilder().Write(1, "X", 1).Commit(1).History()
+	if _, err := SeqFromHistory(h, []TxnID{1, 2}, nil); err == nil {
+		t.Error("order longer than txns must fail")
+	}
+	if _, err := SeqFromHistory(h, []TxnID{2}, nil); err == nil {
+		t.Error("unknown transaction must fail")
+	}
+	h2 := NewBuilder().Write(1, "X", 1).Commit(1).Write(2, "Y", 1).Commit(2).History()
+	if _, err := SeqFromHistory(h2, []TxnID{1, 1}, nil); err == nil {
+		t.Error("duplicate transaction must fail")
+	}
+}
+
+func TestMatchesCompletionOfRejectsTampering(t *testing.T) {
+	h := NewBuilder().Write(1, "X", 1).Commit(1).History()
+	s := mustSeq(t, h, []TxnID{1}, nil)
+	s.Txns[0].Ops[0].Arg = 42
+	if err := s.MatchesCompletionOf(h); err == nil {
+		t.Error("tampered write argument must not match")
+	}
+}
+
+func TestSeqOrderPositionString(t *testing.T) {
+	h := NewBuilder().
+		Write(2, "X", 1).Commit(2).
+		Read(1, "X", 1).CommitAbort(1).
+		History()
+	s := mustSeq(t, h, []TxnID{2, 1}, nil)
+	if ord := s.Order(); len(ord) != 2 || ord[0] != 2 || ord[1] != 1 {
+		t.Errorf("Order = %v, want [2 1]", ord)
+	}
+	if s.Position(1) != 1 || s.Position(2) != 0 || s.Position(9) != -1 {
+		t.Error("Position wrong")
+	}
+	if got := s.String(); got != "T2+ T1-" {
+		t.Errorf("String = %q, want %q", got, "T2+ T1-")
+	}
+}
+
+func TestCompletionMaterialization(t *testing.T) {
+	b := NewBuilder()
+	b.Write(1, "X", 1).InvTryCommit(1)
+	b.InvRead(2, "X")
+	b.Read(3, "X", 0)
+	h := b.History()
+
+	c := h.Completion(map[TxnID]bool{1: true})
+	if !c.TComplete() {
+		t.Fatal("completion is not t-complete")
+	}
+	if !c.Txn(1).Committed() {
+		t.Error("T1 should commit in completion")
+	}
+	if !c.Txn(2).Aborted() {
+		t.Error("T2 should abort in completion")
+	}
+	t3 := c.Txn(3)
+	if !t3.Aborted() || t3.Ops[len(t3.Ops)-1].Kind != OpTryCommit {
+		t.Error("T3 should abort via appended tryC")
+	}
+	// The completion leaves already-t-complete histories unchanged.
+	done := NewBuilder().Write(9, "X", 1).Commit(9).History()
+	c2 := done.Completion(nil)
+	if !done.Equivalent(c2) || c2.Len() != done.Len() {
+		t.Error("completion of t-complete history should be identical")
+	}
+}
+
+func TestCompletionEquivalentToSeq(t *testing.T) {
+	// The Seq built by SeqFromHistory agrees with the materialized
+	// completion transaction by transaction.
+	b := NewBuilder()
+	b.Write(1, "X", 1).InvTryCommit(1)
+	b.Read(2, "X", 0)
+	h := b.History()
+	c := h.Completion(map[TxnID]bool{1: true})
+	s := mustSeq(t, h, []TxnID{1, 2}, map[TxnID]bool{1: true})
+	for _, st := range s.Txns {
+		ct := c.Txn(st.ID)
+		if len(ct.Ops) != len(st.Ops) {
+			t.Fatalf("T%d: completion has %d ops, seq has %d", st.ID, len(ct.Ops), len(st.Ops))
+		}
+		for i := range st.Ops {
+			a, b := ct.Ops[i], st.Ops[i]
+			if a.Kind != b.Kind || a.Obj != b.Obj || a.Arg != b.Arg || a.Out != b.Out {
+				t.Errorf("T%d op %d: completion %v, seq %v", st.ID, i, a, b)
+			}
+		}
+	}
+}
+
+func TestIllegalReadErrorMessage(t *testing.T) {
+	err := &IllegalReadError{Txn: 2, Op: Op{Kind: OpRead, Obj: "X", Val: 1, Out: OutOK}, Want: 0}
+	if !strings.Contains(err.Error(), "read_2(X)") || !strings.Contains(err.Error(), "returned 1") {
+		t.Errorf("unhelpful error message: %q", err.Error())
+	}
+}
+
+func TestBuilderPanicsOnMisuse(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func(*Builder)
+	}{
+		{"response without invocation", func(b *Builder) { b.ResRead(1, "X", 0) }},
+		{"op after commit", func(b *Builder) { b.Commit(1).Read(1, "X", 0) }},
+		{"double pending", func(b *Builder) { b.InvRead(1, "X").InvWrite(1, "Y", 1) }},
+		{"reserved id", func(b *Builder) { b.Read(0, "X", 0) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewBuilder())
+		})
+	}
+}
+
+func TestBuilderLen(t *testing.T) {
+	b := NewBuilder()
+	if b.Len() != 0 {
+		t.Fatal("empty builder Len != 0")
+	}
+	b.Write(1, "X", 1)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+}

@@ -1,0 +1,278 @@
+// Package litmus encodes the example histories of Attiya, Hans, Kuznetsov
+// and Ravi, "Safety of Deferred Update in Transactional Memory" (ICDCS
+// 2013) — Figures 1 through 6 — together with auxiliary histories from the
+// prose, each annotated with its expected verdict under every implemented
+// criterion. The registry drives the figure-reproduction tests, the
+// cmd/litmus verdict matrix, and the per-figure benchmarks.
+package litmus
+
+import (
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// Case is a named litmus history with expected verdicts.
+type Case struct {
+	Name string
+	// Figure is the paper figure number reproduced by the case, 0 for
+	// auxiliary cases.
+	Figure int
+	Desc   string
+	H      *history.History
+	// Expect maps each criterion to the expected acceptance.
+	Expect map[spec.Criterion]bool
+}
+
+// Figure1 is the paper's Figure 1: a du-opaque history with serialization
+// T2, T3, T1, T4 (v = 1, v' = 2).
+//
+//	T2: W(X,1) · tryC->C            (commits before T1's read responds)
+//	T1: R(X)->1 · W(X,2) · tryC->C
+//	T3: W(X,1) ············ tryC->C (overlaps T1 and T2; commits before T4)
+//	T4: R(X)->2 · tryC->C
+func Figure1() *history.History {
+	b := history.NewBuilder()
+	b.InvWrite(2, "X", 1)
+	b.ResWrite(2, "X", 1)
+	b.InvTryCommit(2)
+	b.InvWrite(3, "X", 1)
+	b.ResCommit(2)
+	b.Read(1, "X", 1)
+	b.Write(1, "X", 2)
+	b.ResWrite(3, "X", 1)
+	b.Commit(1)
+	b.Commit(3)
+	b.Read(4, "X", 2)
+	b.Commit(4)
+	return b.History()
+}
+
+// Figure2Family builds the paper's Figure 2 prefix of parameter j >= 2: T1
+// performs write(X,1) and an incomplete tryC; T2 reads 1 overlapping T1's
+// tryC; transactions T3..Tj each read 0, overlapping T1 and T2. Every
+// finite member of the family is du-opaque, but its serializations are
+// forced to place all readers of 0 before T1 and T2 after T1 — so the
+// infinite limit has no serialization (Proposition 1: du-opacity is not
+// limit-closed).
+func Figure2Family(j int) *history.History {
+	if j < 2 {
+		j = 2
+	}
+	b := history.NewBuilder()
+	b.Write(1, "X", 1)
+	b.InvTryCommit(1) // never responds
+	b.Read(2, "X", 1)
+	for k := history.TxnID(3); k <= history.TxnID(j); k++ {
+		b.Read(k, "X", 0)
+	}
+	return b.History()
+}
+
+// Figure3 is the paper's Figure 3: H is final-state opaque while its
+// prefix H' = write1(X,1) · read2(X)->1 is not, showing final-state opacity
+// is not prefix-closed.
+func Figure3() *history.History {
+	return history.NewBuilder().
+		Write(1, "X", 1).
+		Read(2, "X", 1).
+		Commit(1).
+		Commit(2).
+		History()
+}
+
+// Figure3PrefixLen is the length of the non-final-state-opaque prefix H'.
+const Figure3PrefixLen = 4
+
+// Figure4 is the paper's Figure 4: an opaque history that is not
+// du-opaque. T2 reads 1 during T1's tryC, which eventually aborts; T3
+// rewrites 1 and commits before T1's abort, so every prefix is final-state
+// opaque (completions commit whichever writer is still pending), yet no
+// writer of 1 invoked tryC before T2's read responded.
+func Figure4() *history.History {
+	b := history.NewBuilder()
+	b.Write(1, "X", 1)
+	b.InvTryCommit(1)
+	b.Read(2, "X", 1)
+	b.Write(3, "X", 1)
+	b.Commit(3)
+	b.ResCommitAbort(1)
+	return b.History()
+}
+
+// Figure5 is the paper's Figure 5: a sequential du-opaque (hence opaque)
+// history that is not opaque under the read-commit-order definition of
+// Guerraoui, Henzinger and Singh: read2(X) precedes tryC3, forcing
+// T2 <_S T3, while legality of read2(Y)->1 forces T3 <_S T2.
+func Figure5() *history.History {
+	return history.NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Read(2, "X", 1).
+		Write(3, "X", 1).Write(3, "Y", 1).Commit(3).
+		Read(2, "Y", 1).
+		History()
+}
+
+// Figure6 is the paper's Figure 6: a du-opaque history that is not TMS2.
+// T1 and T2 conflict on X (T1 writes, T2 reads), T1's tryC response
+// precedes T2's tryC invocation, so TMS2 forces T1 <_S T2 — but read2(X)->0
+// forces T2 <_S T1.
+func Figure6() *history.History {
+	b := history.NewBuilder()
+	b.Read(1, "X", 0)
+	b.Write(1, "X", 1)
+	b.Read(2, "X", 0)
+	b.Commit(1)
+	b.Write(2, "Y", 1)
+	b.Commit(2)
+	return b.History()
+}
+
+func expectAll(ok bool) map[spec.Criterion]bool {
+	m := make(map[spec.Criterion]bool, len(spec.AllCriteria()))
+	for _, c := range spec.AllCriteria() {
+		m[c] = ok
+	}
+	return m
+}
+
+func with(m map[spec.Criterion]bool, overrides map[spec.Criterion]bool) map[spec.Criterion]bool {
+	for c, ok := range overrides {
+		m[c] = ok
+	}
+	return m
+}
+
+// Cases returns the litmus registry.
+func Cases() []Case {
+	return []Case{
+		{
+			Name:   "figure-1",
+			Figure: 1,
+			Desc:   "du-opaque history with serialization T2,T3,T1,T4",
+			H:      Figure1(),
+			// RCO rejects: read1(X) precedes tryC3, forcing T1 <_S T3,
+			// while read4(X)->2 needs T3 before T1 (or after T4, which
+			// real time forbids). The paper notes RCO is strictly stronger
+			// than du-opacity.
+			Expect: with(expectAll(true), map[spec.Criterion]bool{spec.RCO: false}),
+		},
+		{
+			Name:   "figure-2-j6",
+			Figure: 2,
+			Desc:   "finite member (j=6) of the non-limit-closed family of Proposition 1",
+			H:      Figure2Family(6),
+			Expect: expectAll(true),
+		},
+		{
+			Name:   "figure-3",
+			Figure: 3,
+			Desc:   "final-state opaque history whose prefix H' is not final-state opaque",
+			H:      Figure3(),
+			Expect: with(expectAll(true), map[spec.Criterion]bool{
+				spec.DUOpacity: false, // read precedes the writer's tryC
+				spec.Opacity:   false, // the prefix H' is not final-state opaque
+				spec.RCO:       false, // read2(X) precedes tryC1, forcing T2 <_S T1
+			}),
+		},
+		{
+			Name:   "figure-4",
+			Figure: 4,
+			Desc:   "opaque but not du-opaque (Proposition 2)",
+			H:      Figure4(),
+			Expect: with(expectAll(true), map[spec.Criterion]bool{
+				spec.DUOpacity: false,
+				spec.RCO:       false, // read2(X) precedes tryC3, forcing T2 <_S T3
+			}),
+		},
+		{
+			Name:   "figure-5",
+			Figure: 5,
+			Desc:   "sequential, du-opaque, but not read-commit-order opaque ([6])",
+			H:      Figure5(),
+			Expect: with(expectAll(true), map[spec.Criterion]bool{spec.RCO: false}),
+		},
+		{
+			Name:   "figure-6",
+			Figure: 6,
+			Desc:   "du-opaque but not TMS2",
+			H:      Figure6(),
+			Expect: with(expectAll(true), map[spec.Criterion]bool{spec.TMS2: false}),
+		},
+		{
+			Name: "serial-chain",
+			Desc: "serial committed chain: accepted by every criterion",
+			H: history.NewBuilder().
+				Write(1, "X", 1).Commit(1).
+				Read(2, "X", 1).Write(2, "Y", 2).Commit(2).
+				Read(3, "Y", 2).Commit(3).
+				History(),
+			Expect: expectAll(true),
+		},
+		{
+			Name: "read-aborted-writer",
+			Desc: "committed reader observes an aborted transaction's write",
+			H: history.NewBuilder().
+				Write(1, "X", 1).CommitAbort(1).
+				Read(2, "X", 1).Commit(2).
+				History(),
+			Expect: expectAll(false),
+		},
+		{
+			Name: "real-time-inversion",
+			Desc: "reader of a future value fully precedes the writer",
+			H: history.NewBuilder().
+				Read(1, "X", 1).Commit(1).
+				Write(2, "X", 1).Commit(2).
+				History(),
+			Expect: with(expectAll(false), map[spec.Criterion]bool{
+				spec.Serializability: true, // T2,T1 ignores real time
+			}),
+		},
+		{
+			Name: "lost-update",
+			Desc: "two overlapping increments both read 0 and commit",
+			H: history.NewBuilder().
+				InvRead(1, "X").InvRead(2, "X").
+				ResRead(1, "X", 0).ResRead(2, "X", 0).
+				Write(1, "X", 1).Write(2, "X", 2).
+				Commit(1).Commit(2).
+				History(),
+			Expect: expectAll(false),
+		},
+		{
+			Name: "commit-pending-source",
+			Desc: "reader observes a commit-pending transaction after its tryC invocation",
+			H: history.NewBuilder().
+				Write(1, "X", 1).InvTryCommit(1).
+				Read(2, "X", 1).Commit(2).
+				History(),
+			// RCO: T1 is not committed in H (its tryC never returns), so no
+			// read-commit edge applies; a completion committing T1 works.
+			Expect: expectAll(true),
+		},
+		{
+			Name: "inconsistent-snapshot",
+			Desc: "reader sees X from T1 but misses T1's Y (zombie read)",
+			H: history.NewBuilder().
+				Write(1, "X", 1).Write(1, "Y", 1).Commit(1).
+				Read(2, "X", 1).Read(2, "Y", 0).Abort(2).
+				History(),
+			Expect: with(expectAll(false), map[spec.Criterion]bool{
+				// Serializability baselines ignore the aborted reader.
+				spec.StrictSerializability: true,
+				spec.Serializability:       true,
+			}),
+		},
+	}
+}
+
+// ByName returns the named case, or nil.
+func ByName(name string) *Case {
+	for _, c := range Cases() {
+		if c.Name == name {
+			cc := c
+			return &cc
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"duopacity/internal/history"
+)
+
+// ReadInfo is the deferred-update analysis of one value-returning external
+// read: which transactions could source it in some serialization, and
+// which of those had invoked tryC before the read's response (the only
+// ones its local serialization may contain).
+type ReadInfo struct {
+	Txn history.TxnID
+	Op  history.Op
+	// OwnWrite is true when the read is satisfied by the transaction's own
+	// earlier write (always legal; no sources apply).
+	OwnWrite bool
+	// FromInit is true when the read returned InitValue, which T_0 can
+	// always explain.
+	FromInit bool
+	// Sources lists transactions that can commit the value read.
+	Sources []history.TxnID
+	// DUSources is the subset of Sources whose tryC invocation precedes
+	// the read's response in H. Empty DUSources with FromInit == false is
+	// a certain deferred-update violation (the static refutation the
+	// checker reports).
+	DUSources []history.TxnID
+}
+
+// String renders the analysis of the read.
+func (r ReadInfo) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "T%d %v: ", r.Txn, r.Op)
+	switch {
+	case r.OwnWrite:
+		b.WriteString("own write")
+	case r.FromInit:
+		b.WriteString("initial value (T_0)")
+	default:
+		fmt.Fprintf(&b, "sources %s", txnList(r.Sources))
+		fmt.Fprintf(&b, ", du-eligible %s", txnList(r.DUSources))
+	}
+	return b.String()
+}
+
+func txnList(ids []history.TxnID) string {
+	if len(ids) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("T%d", id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// AnalyzeReads computes the ReadInfo of every value-returning read in h,
+// in history order of the reads' responses. It is the explanatory
+// counterpart of the checker's static refutations, surfaced by
+// cmd/ducheck -explain.
+func AnalyzeReads(h *history.History) []ReadInfo {
+	type key struct {
+		obj history.Var
+		val history.Value
+	}
+	writers := make(map[key][]history.TxnID)
+	for _, k := range h.Txns() {
+		t := h.Txn(k)
+		if t.Aborted() {
+			continue // can never commit
+		}
+		for obj, v := range t.LastWrites() {
+			writers[key{obj, v}] = append(writers[key{obj, v}], k)
+		}
+	}
+	var out []ReadInfo
+	for _, k := range h.Txns() {
+		t := h.Txn(k)
+		overlay := make(map[history.Var]bool)
+		for _, op := range t.Ops {
+			if op.Pending {
+				break
+			}
+			switch op.Kind {
+			case history.OpWrite:
+				if op.Out == history.OutOK {
+					overlay[op.Obj] = true
+				}
+			case history.OpRead:
+				if op.Out != history.OutOK {
+					continue
+				}
+				ri := ReadInfo{Txn: k, Op: op}
+				switch {
+				case overlay[op.Obj]:
+					ri.OwnWrite = true
+				case op.Val == history.InitValue:
+					ri.FromInit = true
+				default:
+					for _, w := range writers[key{op.Obj, op.Val}] {
+						if w == k {
+							continue
+						}
+						ri.Sources = append(ri.Sources, w)
+						if inv := h.Txn(w).TryCInv; inv >= 0 && inv < op.ResIndex {
+							ri.DUSources = append(ri.DUSources, w)
+						}
+					}
+				}
+				out = append(out, ri)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Op.ResIndex < out[j].Op.ResIndex
+	})
+	return out
+}

@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"duopacity/internal/history"
+)
+
+func TestAnalyzeReadsClassification(t *testing.T) {
+	// T1 writes X=1 but aborts (never a source); T2 writes X=1 and has a
+	// pending tryC (du-eligible source after its invocation); T3 reads 1
+	// after T2's tryC invocation; T4 reads its own write; T5 reads 0.
+	b := history.NewBuilder()
+	b.Write(1, "X", 1).CommitAbort(1)
+	b.Write(2, "X", 1).InvTryCommit(2)
+	b.Read(3, "X", 1)
+	b.Write(4, "Y", 9).Read(4, "Y", 9).Commit(4)
+	b.Read(5, "Z", 0)
+	h := b.History()
+
+	infos := AnalyzeReads(h)
+	if len(infos) != 3 {
+		t.Fatalf("got %d reads, want 3", len(infos))
+	}
+	byTxn := make(map[history.TxnID]ReadInfo)
+	for _, ri := range infos {
+		byTxn[ri.Txn] = ri
+	}
+
+	r3 := byTxn[3]
+	if r3.OwnWrite || r3.FromInit {
+		t.Fatalf("T3 misclassified: %+v", r3)
+	}
+	if len(r3.Sources) != 1 || r3.Sources[0] != 2 {
+		t.Errorf("T3 sources = %v, want [2] (T1 aborted)", r3.Sources)
+	}
+	if len(r3.DUSources) != 1 || r3.DUSources[0] != 2 {
+		t.Errorf("T3 du-sources = %v, want [2]", r3.DUSources)
+	}
+	if !strings.Contains(r3.String(), "du-eligible {T2}") {
+		t.Errorf("T3 rendering: %s", r3.String())
+	}
+
+	if r4 := byTxn[4]; !r4.OwnWrite {
+		t.Errorf("T4 should be an own-write read: %+v", r4)
+	}
+	if r5 := byTxn[5]; !r5.FromInit {
+		t.Errorf("T5 should read the initial value: %+v", r5)
+	}
+}
+
+func TestAnalyzeReadsFlagsDuViolation(t *testing.T) {
+	// Figure 4 shape: the read's only source invokes tryC after the
+	// read's response — Sources nonempty, DUSources empty.
+	b := history.NewBuilder()
+	b.InvWrite(1, "X", 1).ResWrite(1, "X", 1)
+	b.Read(2, "X", 1)
+	b.Commit(1)
+	h := b.History()
+
+	infos := AnalyzeReads(h)
+	if len(infos) != 1 {
+		t.Fatalf("got %d reads, want 1", len(infos))
+	}
+	ri := infos[0]
+	if len(ri.Sources) != 1 || len(ri.DUSources) != 0 {
+		t.Fatalf("want a source but no du-source, got %+v", ri)
+	}
+	if !strings.Contains(ri.String(), "du-eligible {}") {
+		t.Errorf("rendering: %s", ri.String())
+	}
+	// The analysis agrees with the checker's refutation.
+	if CheckDUOpacity(h).OK {
+		t.Fatal("checker should reject")
+	}
+	if !CheckFinalStateOpacity(h).OK {
+		t.Fatal("final-state should accept")
+	}
+}
+
+func TestAnalyzeReadsOrderedByResponse(t *testing.T) {
+	b := history.NewBuilder()
+	b.Write(1, "X", 1).Commit(1)
+	b.InvRead(2, "X")
+	b.Read(3, "X", 1)
+	b.ResRead(2, "X", 1)
+	h := b.History()
+	infos := AnalyzeReads(h)
+	if len(infos) != 2 {
+		t.Fatalf("got %d reads, want 2", len(infos))
+	}
+	if infos[0].Txn != 3 || infos[1].Txn != 2 {
+		t.Fatalf("reads not ordered by response index: %v, %v", infos[0], infos[1])
+	}
+}

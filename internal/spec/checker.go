@@ -1,0 +1,484 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"duopacity/internal/history"
+)
+
+// maxTxns bounds the exact checkers: placed-transaction sets are tracked as
+// 64-bit masks.
+const maxTxns = 64
+
+// readReq is an external read of a transaction: a read that returned a
+// value and is not preceded by an own write to the same object, so its
+// legality depends on the serialization order.
+type readReq struct {
+	obj    int // object index
+	val    history.Value
+	resIdx int // index in H of the read's response event
+	op     history.Op
+}
+
+// writerEntry records a committed transaction's write on a per-object
+// stack, in serialization order.
+type writerEntry struct {
+	txn     int // transaction index
+	val     history.Value
+	tryCInv int // index in H of the writer's tryC invocation (>= 0)
+}
+
+// txnRole describes how a transaction may end in a serialization.
+type txnRole uint8
+
+const (
+	roleMustCommit txnRole = iota + 1 // t-committed in H
+	roleMustAbort                     // t-aborted, incomplete op, or complete-not-t-complete
+	roleEither                        // commit-pending: the completion chooses
+)
+
+// searchMode tunes which conditions the engine enforces.
+type searchMode struct {
+	// local enforces the deferred-update condition: every external read
+	// must be legal in its local serialization w.r.t. H and S
+	// (Definition 3, condition 3).
+	local bool
+	// realTime enforces Definition 3 condition 2.
+	realTime bool
+	// committedOnly restricts the serialization to committed transactions
+	// (serializability baselines).
+	committedOnly bool
+	// extraEdges adds ordering constraints (TMS2 / RCO): an edge (a, b)
+	// requires a <_S b.
+	extraEdges [][2]history.TxnID
+}
+
+// engine is the exhaustive serialization search shared by all criteria.
+type engine struct {
+	h    *history.History
+	mode searchMode
+	opts options
+
+	ids  []history.TxnID
+	idx  map[history.TxnID]int
+	txs  []*history.TxnInfo
+	role []txnRole
+
+	objs   []history.Var
+	objIdx map[history.Var]int
+
+	reads      [][]readReq             // external reads per txn
+	lastWrites []map[int]history.Value // committed values per txn, by object index
+	writeObjs  [][]int                 // sorted object indexes written per txn
+
+	pred []uint64 // required predecessors per txn (real-time + extra edges)
+
+	// Search state.
+	placed  uint64
+	order   []int
+	commits []bool
+	stacks  [][]writerEntry
+	memo    map[string]struct{}
+	nodes   int
+
+	// Enumeration state (nil unless enumerating).
+	collect func(*history.Seq) bool
+
+	witness *history.Seq
+	reason  string
+	bailed  bool // node limit reached
+}
+
+// newEngine analyzes h for the given mode. It returns an error verdict
+// reason if h is statically refuted or out of scope.
+func newEngine(h *history.History, mode searchMode, opts options) (*engine, string) {
+	e := &engine{h: h, mode: mode, opts: opts, memo: make(map[string]struct{})}
+	all := h.Txns()
+	e.idx = make(map[history.TxnID]int, len(all))
+	for _, k := range all {
+		t := h.Txn(k)
+		if mode.committedOnly && !(t.Committed() || t.CommitPending()) {
+			continue
+		}
+		e.idx[k] = len(e.ids)
+		e.ids = append(e.ids, k)
+		e.txs = append(e.txs, t)
+	}
+	n := len(e.ids)
+	if n > maxTxns {
+		return nil, fmt.Sprintf("history has %d transactions; exact checking is limited to %d", n, maxTxns)
+	}
+
+	e.objIdx = make(map[history.Var]int)
+	for _, v := range h.Vars() {
+		e.objIdx[v] = len(e.objs)
+		e.objs = append(e.objs, v)
+	}
+	e.stacks = make([][]writerEntry, len(e.objs))
+
+	e.role = make([]txnRole, n)
+	e.reads = make([][]readReq, n)
+	e.lastWrites = make([]map[int]history.Value, n)
+	e.writeObjs = make([][]int, n)
+	e.pred = make([]uint64, n)
+
+	for i, t := range e.txs {
+		switch {
+		case t.Committed():
+			e.role[i] = roleMustCommit
+		case t.CommitPending():
+			e.role[i] = roleEither
+		default:
+			e.role[i] = roleMustAbort
+		}
+		// Analyze H|k: own-write overlay, external reads, last writes.
+		overlay := make(map[history.Var]history.Value)
+		for _, op := range t.Ops {
+			if op.Pending {
+				break
+			}
+			switch op.Kind {
+			case history.OpRead:
+				if op.Out != history.OutOK {
+					continue
+				}
+				if v, ok := overlay[op.Obj]; ok {
+					if v != op.Val {
+						return nil, fmt.Sprintf(
+							"T%d: %v returned %d but the transaction's own latest write to %s is %d",
+							t.ID, op, op.Val, op.Obj, v)
+					}
+					continue // own-write read: legal in every serialization
+				}
+				e.reads[i] = append(e.reads[i], readReq{
+					obj: e.objIdx[op.Obj], val: op.Val, resIdx: op.ResIndex, op: op,
+				})
+			case history.OpWrite:
+				if op.Out == history.OutOK {
+					overlay[op.Obj] = op.Arg
+				}
+			}
+		}
+		lw := make(map[int]history.Value, len(overlay))
+		for v, val := range overlay {
+			lw[e.objIdx[v]] = val
+		}
+		e.lastWrites[i] = lw
+		for o := range lw {
+			e.writeObjs[i] = append(e.writeObjs[i], o)
+		}
+		sort.Ints(e.writeObjs[i])
+	}
+
+	// Ordering constraints.
+	if mode.realTime {
+		for _, m := range e.ids {
+			mi := e.idx[m]
+			for _, k := range e.ids {
+				if h.RealTimePrecedes(k, m) {
+					e.pred[mi] |= 1 << uint(e.idx[k])
+				}
+			}
+		}
+	}
+	for _, edge := range mode.extraEdges {
+		ai, aok := e.idx[edge[0]]
+		bi, bok := e.idx[edge[1]]
+		if aok && bok {
+			e.pred[bi] |= 1 << uint(ai)
+		}
+	}
+	if reason := e.staticReject(); reason != "" {
+		return nil, reason
+	}
+	return e, ""
+}
+
+// staticReject performs order-independent feasibility checks so that common
+// violations are refuted without search, with a precise reason.
+func (e *engine) staticReject() string {
+	// Candidate writers per (object, value): transactions that can commit
+	// that value.
+	type key struct {
+		obj int
+		val history.Value
+	}
+	capable := make(map[key][]int)
+	for i := range e.txs {
+		if e.role[i] == roleMustAbort {
+			continue
+		}
+		for o, v := range e.lastWrites[i] {
+			capable[key{o, v}] = append(capable[key{o, v}], i)
+		}
+	}
+	for i, t := range e.txs {
+		for _, r := range e.reads[i] {
+			if r.val == history.InitValue {
+				continue // T_0 is always a legal source
+			}
+			cands := capable[key{r.obj, r.val}]
+			found := false
+			foundLocal := false
+			for _, c := range cands {
+				if c == i {
+					continue
+				}
+				found = true
+				if e.txs[c].TryCInv >= 0 && e.txs[c].TryCInv < r.resIdx {
+					foundLocal = true
+				}
+			}
+			if !found {
+				return fmt.Sprintf("T%d: %v has no possible source: no committable transaction writes %s=%d",
+					t.ID, r.op, e.objs[r.obj], r.val)
+			}
+			if e.mode.local && !foundLocal {
+				return fmt.Sprintf(
+					"T%d: %v violates deferred update: no transaction writing %s=%d invoked tryC before the read's response",
+					t.ID, r.op, e.objs[r.obj], r.val)
+			}
+		}
+	}
+	return ""
+}
+
+// run performs the search and returns the verdict fields.
+func (e *engine) run() (ok bool, witness *history.Seq, reason string, bailed bool, nodes int) {
+	if e.search() {
+		return true, e.witness, "", false, e.nodes
+	}
+	if e.bailed {
+		return false, nil, "node limit exceeded", true, e.nodes
+	}
+	if e.reason == "" {
+		e.reason = "no serialization satisfies the criterion"
+	}
+	return false, nil, e.reason, false, e.nodes
+}
+
+// search tries to extend the current partial serialization to a full one.
+// It returns true when a witness has been found (and, when not
+// enumerating, the search should stop).
+func (e *engine) search() bool {
+	if e.opts.nodeLimit > 0 && e.nodes > e.opts.nodeLimit {
+		e.bailed = true
+		return false
+	}
+	e.nodes++
+	n := len(e.ids)
+
+	// Greedy dominance phase (skipped when enumerating, where it would
+	// hide valid orders): a transaction that installs no writes never
+	// changes the per-object stacks, so if its reads are legal in the
+	// current state it can be placed immediately — any completion placing
+	// it later maps to one placing it now with identical stack evolution.
+	// This collapses the exponential interchangeability of concurrent
+	// readers (e.g. the Figure 2 family).
+	greedy := 0
+	if e.collect == nil {
+		for progress := true; progress; {
+			progress = false
+			for i := 0; i < n; i++ {
+				bit := uint64(1) << uint(i)
+				if e.placed&bit != 0 || e.pred[i]&^e.placed != 0 || len(e.writeObjs[i]) > 0 {
+					continue
+				}
+				// Commit read-only t-committed transactions; abort the
+				// rest (for a no-write transaction the two are
+				// interchangeable except for equivalence to H).
+				if e.pushTxn(i, e.role[i] == roleMustCommit) {
+					greedy++
+					progress = true
+				}
+			}
+		}
+	}
+	defer func() {
+		for ; greedy > 0; greedy-- {
+			e.popTxn()
+		}
+	}()
+
+	if len(e.order) == n {
+		return e.emit()
+	}
+	key := e.stateKey()
+	if _, dead := e.memo[key]; dead {
+		return false
+	}
+	// Try available transactions in first-event order (the analysis order),
+	// which finds witnesses quickly on realistic histories.
+	found := false
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if e.placed&bit != 0 || e.pred[i]&^e.placed != 0 {
+			continue
+		}
+		switch e.role[i] {
+		case roleMustCommit:
+			found = e.place(i, true)
+		case roleMustAbort:
+			found = e.place(i, false)
+		case roleEither:
+			// Prefer committing: transactions whose values someone read
+			// must commit, and committing a pending tryC is never required
+			// to fail.
+			found = e.place(i, true) || e.place(i, false)
+		}
+		if found {
+			return true
+		}
+		if e.bailed {
+			return false
+		}
+	}
+	if e.collect == nil {
+		e.memo[key] = struct{}{}
+	}
+	return false
+}
+
+// pushTxn checks transaction i's reads against the current stacks and, if
+// legal, appends it with the given commit decision, updating the stacks.
+func (e *engine) pushTxn(i int, commit bool) bool {
+	for _, r := range e.reads[i] {
+		st := e.stacks[r.obj]
+		if len(st) > 0 {
+			if st[len(st)-1].val != r.val {
+				return false
+			}
+		} else if r.val != history.InitValue {
+			return false
+		}
+		if e.mode.local {
+			legal := false
+			foundIncluded := false
+			for j := len(st) - 1; j >= 0; j-- {
+				if st[j].tryCInv < r.resIdx {
+					foundIncluded = true
+					legal = st[j].val == r.val
+					break
+				}
+			}
+			if !foundIncluded {
+				legal = r.val == history.InitValue
+			}
+			if !legal {
+				return false
+			}
+		}
+	}
+	e.placed |= uint64(1) << uint(i)
+	e.order = append(e.order, i)
+	e.commits = append(e.commits, commit)
+	if commit {
+		for _, o := range e.writeObjs[i] {
+			e.stacks[o] = append(e.stacks[o], writerEntry{
+				txn: i, val: e.lastWrites[i][o], tryCInv: e.txs[i].TryCInv,
+			})
+		}
+	}
+	return true
+}
+
+// popTxn undoes the most recent pushTxn.
+func (e *engine) popTxn() {
+	i := e.order[len(e.order)-1]
+	if e.commits[len(e.commits)-1] {
+		for _, o := range e.writeObjs[i] {
+			e.stacks[o] = e.stacks[o][:len(e.stacks[o])-1]
+		}
+	}
+	e.order = e.order[:len(e.order)-1]
+	e.commits = e.commits[:len(e.commits)-1]
+	e.placed &^= uint64(1) << uint(i)
+}
+
+// place appends transaction i with the given commit decision — checking
+// its reads (Definition 3 conditions 1 and 3: the latest committed writer
+// on the stack must have written the value read, and so must the latest
+// writer whose tryC invocation precedes the read's response in H, with
+// T_0's InitValue as the base case) — recurses, and restores state.
+func (e *engine) place(i int, commit bool) bool {
+	if !e.pushTxn(i, commit) {
+		return false
+	}
+	found := e.search()
+	e.popTxn()
+	return found
+}
+
+// emit materializes the witness for the current complete order. When
+// enumerating it forwards the witness to the collector and reports whether
+// to stop.
+func (e *engine) emit() bool {
+	order := make([]history.TxnID, len(e.order))
+	commit := make(map[history.TxnID]bool, len(e.order))
+	for pos, i := range e.order {
+		order[pos] = e.ids[i]
+		commit[e.ids[i]] = e.commits[pos]
+	}
+	var s *history.Seq
+	if e.mode.committedOnly {
+		s = e.committedSeq(order, commit)
+	} else {
+		var err error
+		s, err = history.SeqFromHistory(e.h, order, commit)
+		if err != nil {
+			// The order contains exactly the history's transactions.
+			panic("spec: internal error materializing witness: " + err.Error())
+		}
+	}
+	if e.collect != nil {
+		stop := e.collect(s)
+		if stop {
+			e.witness = s
+			return true
+		}
+		return false
+	}
+	e.witness = s
+	return true
+}
+
+// committedSeq builds the witness for the serializability baselines, which
+// order only the committed transactions.
+func (e *engine) committedSeq(order []history.TxnID, commit map[history.TxnID]bool) *history.Seq {
+	s := &history.Seq{}
+	for _, k := range order {
+		t := e.h.Txn(k)
+		ops := append([]history.Op(nil), t.Ops...)
+		if t.CommitPending() {
+			last := &ops[len(ops)-1]
+			last.Pending = false
+			if commit[k] {
+				last.Out = history.OutCommit
+			} else {
+				last.Out = history.OutAbort
+			}
+		}
+		s.Txns = append(s.Txns, history.SeqTxn{ID: k, Ops: ops})
+	}
+	return s
+}
+
+// stateKey fingerprints the search state: the placed set plus, per object,
+// the stack of committed writers in placement order. Two states with equal
+// keys admit exactly the same completions.
+func (e *engine) stateKey() string {
+	var b strings.Builder
+	b.Grow(16 + 4*len(e.objs))
+	b.WriteString(strconv.FormatUint(e.placed, 16))
+	for _, st := range e.stacks {
+		b.WriteByte('|')
+		for _, w := range st {
+			b.WriteString(strconv.Itoa(w.txn))
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package spec
+
+import (
+	"fmt"
+
+	"duopacity/internal/history"
+)
+
+// CheckDUOpacity decides Definition 3: whether there is a legal t-complete
+// t-sequential history S, equivalent to a completion of H, respecting H's
+// real-time order, in which every t-read that returns a value is also legal
+// in its local serialization with respect to H and S.
+//
+// The local serialization S^{k,X}_H for read_k(X) keeps the reading
+// transaction's own events up to the read and removes every other
+// transaction whose tryC invocation is not contained in the prefix of H up
+// to the read's response (this is the reading of Definition 3 consistent
+// with the paper's Figure 1 walk-through, where T1's own pending events are
+// retained). T_0 — the imaginary transaction writing InitValue to every
+// object — is always contained.
+func CheckDUOpacity(h *history.History, opts ...Option) Verdict {
+	return decide(h, DUOpacity, searchMode{local: true, realTime: true}, buildOptions(opts))
+}
+
+// CheckFinalStateOpacity decides Definition 4 (Guerraoui and Kapalka):
+// whether some completion of H is equivalent to a legal t-complete
+// t-sequential history respecting H's real-time order.
+func CheckFinalStateOpacity(h *history.History, opts ...Option) Verdict {
+	return decide(h, FinalStateOpacity, searchMode{realTime: true}, buildOptions(opts))
+}
+
+// CheckOpacity decides Definition 5: every finite prefix of H (including H
+// itself) is final-state opaque.
+//
+// Only prefixes ending in a response event (plus the empty prefix and H
+// itself) are checked: appending an invocation event to a final-state
+// opaque history preserves final-state opacity, because the new pending
+// operation is aborted by every completion without constraining legality,
+// and a new pending tryC only adds completion choices. (This pruning is
+// validated against the all-prefixes definition in the tests.)
+func CheckOpacity(h *history.History, opts ...Option) Verdict {
+	o := buildOptions(opts)
+	total := 0
+	for i := 1; i <= h.Len(); i++ {
+		if i < h.Len() && h.At(i-1).Kind != history.Res {
+			continue
+		}
+		v := decide(h.Prefix(i), FinalStateOpacity, searchMode{realTime: true}, o)
+		total += v.Nodes
+		if v.Undecided {
+			v.Criterion = Opacity
+			v.Nodes = total
+			v.Reason = fmt.Sprintf("prefix of length %d: %s", i, v.Reason)
+			return v
+		}
+		if !v.OK {
+			return Verdict{
+				Criterion: Opacity,
+				Reason:    fmt.Sprintf("prefix of length %d is not final-state opaque: %s", i, v.Reason),
+				Nodes:     total,
+			}
+		}
+		if i == h.Len() {
+			v.Criterion = Opacity
+			v.Nodes = total
+			return v
+		}
+	}
+	// Empty history.
+	return Verdict{Criterion: Opacity, OK: true, Serialization: &history.Seq{}}
+}
+
+// CheckTMS2 decides the TMS2-style restriction discussed in Section 4.2:
+// final-state opacity plus the conflict-order requirement. The paper's
+// informal statement is pinned down as follows: for transactions T1, T2
+// with X ∈ Wset(T1) ∩ Rset(T2), if T1 committed in H and the response of
+// tryC_1 precedes the invocation of tryC_2 in H, then T1 <_S T2.
+// (Overlapping tryC operations impose no constraint, matching the
+// linearization freedom TMS2 gives concurrent commits.) This reproduces the
+// paper's Figure 6 separation: du-opaque but not TMS2.
+func CheckTMS2(h *history.History, opts ...Option) Verdict {
+	return decide(h, TMS2, searchMode{realTime: true, extraEdges: tms2Edges(h)}, buildOptions(opts))
+}
+
+func tms2Edges(h *history.History) [][2]history.TxnID {
+	var edges [][2]history.TxnID
+	ids := h.Txns()
+	for _, a := range ids {
+		t1 := h.Txn(a)
+		if !t1.Committed() {
+			continue
+		}
+		w1 := t1.WriteSet()
+		if len(w1) == 0 {
+			continue
+		}
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			t2 := h.Txn(b)
+			if t2.TryCInv < 0 || t1.TryCRes < 0 || t1.TryCRes >= t2.TryCInv {
+				continue
+			}
+			for x := range t2.ReadSet() {
+				if w1[x] {
+					edges = append(edges, [2]history.TxnID{a, b})
+					break
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// CheckRCO decides the read-commit-order opacity of Guerraoui, Henzinger
+// and Singh ([6] in the paper), discussed in Section 4.2: final-state
+// opacity plus the requirement that if the response of a t-read of X by T_k
+// precedes the invocation of tryC_m of a transaction T_m that commits a
+// write to X in H, then T_k <_S T_m. This reproduces the paper's Figure 5
+// separation: du-opaque (hence opaque) but not RCO-opaque.
+func CheckRCO(h *history.History, opts ...Option) Verdict {
+	return decide(h, RCO, searchMode{realTime: true, extraEdges: rcoEdges(h)}, buildOptions(opts))
+}
+
+func rcoEdges(h *history.History) [][2]history.TxnID {
+	var edges [][2]history.TxnID
+	ids := h.Txns()
+	for _, m := range ids {
+		tm := h.Txn(m)
+		if !tm.Committed() || tm.TryCInv < 0 {
+			continue
+		}
+		wm := tm.WriteSet()
+		if len(wm) == 0 {
+			continue
+		}
+		for _, k := range ids {
+			if k == m {
+				continue
+			}
+			tk := h.Txn(k)
+			for _, op := range tk.Ops {
+				if op.Kind != history.OpRead || op.Pending || op.Out != history.OutOK {
+					continue
+				}
+				if wm[op.Obj] && op.ResIndex < tm.TryCInv {
+					edges = append(edges, [2]history.TxnID{k, m})
+					break
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// CheckStrictSerializability checks that the committed transactions
+// (counting commit-pending ones as free to commit or abort) admit a legal
+// total order respecting H's real-time order. Aborted and incomplete
+// transactions — and their reads — are ignored.
+func CheckStrictSerializability(h *history.History, opts ...Option) Verdict {
+	return decide(h, StrictSerializability, searchMode{realTime: true, committedOnly: true}, buildOptions(opts))
+}
+
+// CheckSerializability is CheckStrictSerializability without the real-time
+// requirement.
+func CheckSerializability(h *history.History, opts ...Option) Verdict {
+	return decide(h, Serializability, searchMode{committedOnly: true}, buildOptions(opts))
+}
+
+func decide(h *history.History, c Criterion, mode searchMode, o options) Verdict {
+	e, reject := newEngine(h, mode, o)
+	if reject != "" {
+		return Verdict{Criterion: c, Reason: reject}
+	}
+	ok, witness, reason, bailed, nodes := e.run()
+	return Verdict{
+		Criterion:     c,
+		OK:            ok,
+		Serialization: witness,
+		Reason:        reason,
+		Undecided:     bailed,
+		Nodes:         nodes,
+	}
+}
+
+// AllDUSerializations enumerates du-opaque serializations of h, invoking fn
+// for each; enumeration stops when fn returns false or when max witnesses
+// (0 = unlimited) have been produced. It returns the number of witnesses
+// produced. Enumeration disables memoization and is exponential; use it
+// only on small histories (e.g. to verify that a property holds in every
+// serialization, as in the paper's Proposition 1 argument).
+func AllDUSerializations(h *history.History, max int, fn func(*history.Seq) bool) int {
+	e, reject := newEngine(h, searchMode{local: true, realTime: true}, options{})
+	if reject != "" {
+		return 0
+	}
+	count := 0
+	e.collect = func(s *history.Seq) bool {
+		count++
+		if !fn(s) {
+			return true
+		}
+		return max > 0 && count >= max
+	}
+	e.search()
+	return count
+}
+
+// UniqueWrites reports whether no two distinct transactions write the same
+// value to the same t-object in H — the hypothesis of Theorem 11, under
+// which opacity and du-opacity coincide. Writes of InitValue also violate
+// uniqueness (they collide with T_0).
+func UniqueWrites(h *history.History) bool {
+	type key struct {
+		obj history.Var
+		val history.Value
+	}
+	writer := make(map[key]history.TxnID)
+	for _, k := range h.Txns() {
+		for _, op := range h.Txn(k).Ops {
+			if op.Kind != history.OpWrite || op.Pending || op.Out != history.OutOK {
+				continue
+			}
+			if op.Arg == history.InitValue {
+				return false
+			}
+			kk := key{op.Obj, op.Arg}
+			if w, ok := writer[kk]; ok && w != k {
+				return false
+			}
+			writer[kk] = k
+		}
+	}
+	return true
+}
+
+// CheckDUOpacityFast decides du-opacity like CheckDUOpacity but, when the
+// history has unique writes, seeds the search with the forced reads-from
+// edges (the unique writer of X=v must precede and commit for any read of
+// X=v), which typically collapses the search to a single candidate order.
+// The result is always exact; the hints only prune orders that cannot be
+// witnesses.
+func CheckDUOpacityFast(h *history.History, opts ...Option) Verdict {
+	mode := searchMode{local: true, realTime: true}
+	if UniqueWrites(h) {
+		mode.extraEdges = readsFromEdges(h)
+	}
+	return decide(h, DUOpacity, mode, buildOptions(opts))
+}
+
+// readsFromEdges computes, under unique writes, the forced reads-from
+// precedence: for every external read of X=v (v != InitValue), the unique
+// transaction writing v to X must precede the reader in any legal
+// serialization.
+func readsFromEdges(h *history.History) [][2]history.TxnID {
+	type key struct {
+		obj history.Var
+		val history.Value
+	}
+	writer := make(map[key]history.TxnID)
+	for _, k := range h.Txns() {
+		for _, op := range h.Txn(k).Ops {
+			if op.Kind == history.OpWrite && !op.Pending && op.Out == history.OutOK {
+				writer[key{op.Obj, op.Arg}] = k
+			}
+		}
+	}
+	var edges [][2]history.TxnID
+	for _, k := range h.Txns() {
+		overlay := make(map[history.Var]bool)
+		for _, op := range h.Txn(k).Ops {
+			if op.Pending {
+				break
+			}
+			switch op.Kind {
+			case history.OpWrite:
+				if op.Out == history.OutOK {
+					overlay[op.Obj] = true
+				}
+			case history.OpRead:
+				if op.Out != history.OutOK || overlay[op.Obj] || op.Val == history.InitValue {
+					continue
+				}
+				if w, ok := writer[key{op.Obj, op.Val}]; ok && w != k {
+					edges = append(edges, [2]history.TxnID{w, k})
+				}
+			}
+		}
+	}
+	return edges
+}

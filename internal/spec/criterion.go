@@ -1,0 +1,157 @@
+// Package spec implements the TM correctness criteria studied in Attiya,
+// Hans, Kuznetsov and Ravi, "Safety of Deferred Update in Transactional
+// Memory" (ICDCS 2013) as decision procedures over finite histories:
+//
+//   - DU-opacity (Definition 3): there is a legal t-complete t-sequential
+//     history S equivalent to a completion of H, respecting the real-time
+//     order of H, in which every t-read is also legal in its local
+//     serialization with respect to H and S — the deferred-update condition
+//     forbidding reads from transactions that have not started committing.
+//   - Final-state opacity (Definition 4) and opacity (Definition 5: every
+//     prefix final-state opaque), following Guerraoui and Kapalka.
+//   - TMS2 and the read-commit-order (RCO) opacity of Guerraoui, Henzinger
+//     and Singh, as discussed in Section 4.2; the paper gives these
+//     informally, and the exact interpretation implemented here is pinned
+//     down in the doc comments of CheckTMS2 and CheckRCO.
+//   - (Strict) serializability of committed transactions, as baselines.
+//
+// Deciding these criteria is NP-hard in general; the checkers perform an
+// exhaustive search over serialization orders and completion choices with
+// aggressive pruning and memoization, which is exact and fast for the small
+// histories produced by litmus tests and recorded engine episodes. Deciding
+// histories are limited to 64 transactions.
+package spec
+
+import (
+	"fmt"
+
+	"duopacity/internal/history"
+)
+
+// Criterion identifies a correctness criterion.
+type Criterion uint8
+
+const (
+	// DUOpacity is the paper's Definition 3.
+	DUOpacity Criterion = iota + 1
+	// FinalStateOpacity is Definition 4 (Guerraoui and Kapalka).
+	FinalStateOpacity
+	// Opacity is Definition 5: every finite prefix is final-state opaque.
+	Opacity
+	// TMS2 is the conflict-ordered restriction of final-state opacity
+	// discussed in Section 4.2.
+	TMS2
+	// RCO is the read-commit-order opacity of Guerraoui, Henzinger and
+	// Singh, discussed in Section 4.2.
+	RCO
+	// StrictSerializability requires a legal order of the committed
+	// transactions respecting real-time order (aborted transactions and
+	// their reads are ignored).
+	StrictSerializability
+	// Serializability is StrictSerializability without the real-time
+	// requirement.
+	Serializability
+)
+
+var criterionNames = map[Criterion]string{
+	DUOpacity:             "du-opacity",
+	FinalStateOpacity:     "final-state opacity",
+	Opacity:               "opacity",
+	TMS2:                  "TMS2",
+	RCO:                   "rco-opacity",
+	StrictSerializability: "strict serializability",
+	Serializability:       "serializability",
+}
+
+// String returns the criterion's conventional name.
+func (c Criterion) String() string {
+	if s, ok := criterionNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Criterion(%d)", uint8(c))
+}
+
+// AllCriteria lists every implemented criterion in decreasing strength
+// (roughly: du-opacity refines opacity refines final-state opacity; TMS2
+// and RCO are incomparable restrictions; serializability is weakest).
+func AllCriteria() []Criterion {
+	return []Criterion{
+		DUOpacity, TMS2, RCO, Opacity, FinalStateOpacity,
+		StrictSerializability, Serializability,
+	}
+}
+
+// Verdict is the result of checking a history against a criterion.
+type Verdict struct {
+	Criterion Criterion
+	// OK reports whether the history satisfies the criterion.
+	OK bool
+	// Serialization is a witness when OK: a legal t-complete t-sequential
+	// history satisfying the criterion's conditions. For Opacity the
+	// witness is the final-state serialization of the full history.
+	Serialization *history.Seq
+	// Reason explains a rejection (or an undecided result).
+	Reason string
+	// Undecided is set when the search hit the node limit before deciding;
+	// OK is false in that case but the history was not refuted.
+	Undecided bool
+	// Nodes counts search nodes explored across the check.
+	Nodes int
+}
+
+// String renders a one-line summary.
+func (v Verdict) String() string {
+	switch {
+	case v.Undecided:
+		return fmt.Sprintf("%s: undecided (%s)", v.Criterion, v.Reason)
+	case v.OK && v.Serialization != nil:
+		return fmt.Sprintf("%s: OK [%s]", v.Criterion, v.Serialization)
+	case v.OK:
+		return fmt.Sprintf("%s: OK", v.Criterion)
+	default:
+		return fmt.Sprintf("%s: violated (%s)", v.Criterion, v.Reason)
+	}
+}
+
+// Option configures a check.
+type Option func(*options)
+
+type options struct {
+	nodeLimit int
+}
+
+// WithNodeLimit bounds the number of search nodes explored before the
+// checker gives up with an undecided verdict. Zero means unlimited.
+func WithNodeLimit(n int) Option {
+	return func(o *options) { o.nodeLimit = n }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Check dispatches to the checker for the given criterion.
+func Check(h *history.History, c Criterion, opts ...Option) Verdict {
+	switch c {
+	case DUOpacity:
+		return CheckDUOpacity(h, opts...)
+	case FinalStateOpacity:
+		return CheckFinalStateOpacity(h, opts...)
+	case Opacity:
+		return CheckOpacity(h, opts...)
+	case TMS2:
+		return CheckTMS2(h, opts...)
+	case RCO:
+		return CheckRCO(h, opts...)
+	case StrictSerializability:
+		return CheckStrictSerializability(h, opts...)
+	case Serializability:
+		return CheckSerializability(h, opts...)
+	default:
+		return Verdict{Criterion: c, Reason: "unknown criterion"}
+	}
+}

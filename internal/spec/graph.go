@@ -1,0 +1,162 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"duopacity/internal/history"
+)
+
+// EdgeKind labels why one transaction must precede another in every
+// serialization.
+type EdgeKind uint8
+
+const (
+	// EdgeRealTime is Definition 3 condition 2: T_a ≺RT T_b.
+	EdgeRealTime EdgeKind = iota + 1
+	// EdgeReadsFrom is a value-forced source: under unique writes, a read
+	// of X=v must follow the only transaction that writes v to X.
+	EdgeReadsFrom
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeRealTime:
+		return "real-time"
+	case EdgeReadsFrom:
+		return "reads-from"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Edge is a mandatory ordering constraint between two transactions.
+type Edge struct {
+	From, To history.TxnID
+	Kind     EdgeKind
+	Obj      history.Var // reads-from edges only
+}
+
+// String renders the edge with its justification.
+func (e Edge) String() string {
+	if e.Kind == EdgeReadsFrom {
+		return fmt.Sprintf("T%d -> T%d (%s on %s)", e.From, e.To, e.Kind, e.Obj)
+	}
+	return fmt.Sprintf("T%d -> T%d (%s)", e.From, e.To, e.Kind)
+}
+
+// PrecedenceGraph holds the constraints every du-opaque serialization of a
+// history must satisfy. Under unique writes the reads-from edges are
+// value-forced and therefore necessary; a cycle refutes du-opacity (and,
+// by Theorem 11, opacity) without any search.
+type PrecedenceGraph struct {
+	Txns  []history.TxnID
+	Edges []Edge
+
+	adj map[history.TxnID][]history.TxnID
+}
+
+// BuildPrecedenceGraph collects the real-time edges and — when the
+// history has unique writes — the value-forced reads-from edges.
+func BuildPrecedenceGraph(h *history.History) *PrecedenceGraph {
+	g := &PrecedenceGraph{Txns: h.Txns(), adj: make(map[history.TxnID][]history.TxnID)}
+	for _, a := range g.Txns {
+		for _, b := range g.Txns {
+			if h.RealTimePrecedes(a, b) {
+				g.addEdge(Edge{From: a, To: b, Kind: EdgeRealTime})
+			}
+		}
+	}
+	if UniqueWrites(h) {
+		for _, e := range readsFromEdges(h) {
+			g.addEdge(Edge{From: e[0], To: e[1], Kind: EdgeReadsFrom, Obj: readsFromObj(h, e[0], e[1])})
+		}
+	}
+	return g
+}
+
+// readsFromObj recovers the object linking a forced reads-from pair (used
+// only to annotate edges for diagnostics).
+func readsFromObj(h *history.History, w, r history.TxnID) history.Var {
+	lw := h.Txn(w).LastWrites()
+	for _, op := range h.Txn(r).Ops {
+		if op.Kind == history.OpRead && !op.Pending && op.Out == history.OutOK {
+			if v, ok := lw[op.Obj]; ok && v == op.Val {
+				return op.Obj
+			}
+		}
+	}
+	return ""
+}
+
+func (g *PrecedenceGraph) addEdge(e Edge) {
+	g.Edges = append(g.Edges, e)
+	g.adj[e.From] = append(g.adj[e.From], e.To)
+}
+
+// Cycle returns a cycle of transactions (first element repeated at the
+// end), or nil when the graph is acyclic.
+func (g *PrecedenceGraph) Cycle() []history.TxnID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[history.TxnID]int, len(g.Txns))
+	parent := make(map[history.TxnID]history.TxnID)
+	var cycle []history.TxnID
+	var dfs func(u history.TxnID) bool
+	dfs = func(u history.TxnID) bool {
+		color[u] = grey
+		for _, v := range g.adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				// Unwind u back to v.
+				cycle = []history.TxnID{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// Reverse into forward order and close the loop.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				cycle = append(cycle, v)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range g.Txns {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// CheckDUOpacityGraph decides du-opacity with a polynomial refutation fast
+// path: if the necessary-edge graph has a cycle the history is rejected
+// immediately with the cycle as the reason; otherwise the exact search
+// runs (seeded with the same forced edges). The verdict is always exact.
+func CheckDUOpacityGraph(h *history.History, opts ...Option) Verdict {
+	g := BuildPrecedenceGraph(h)
+	if cyc := g.Cycle(); cyc != nil {
+		parts := make([]string, len(cyc))
+		for i, k := range cyc {
+			parts[i] = fmt.Sprintf("T%d", k)
+		}
+		return Verdict{
+			Criterion: DUOpacity,
+			Reason: fmt.Sprintf("mandatory precedence cycle %s (real-time and value-forced reads-from edges)",
+				strings.Join(parts, " -> ")),
+		}
+	}
+	return CheckDUOpacityFast(h, opts...)
+}

@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"duopacity/internal/history"
+)
+
+func TestPrecedenceGraphEdges(t *testing.T) {
+	// T1 fully precedes T2 (real time); T3 reads T1's unique value
+	// (reads-from).
+	h := history.NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Write(2, "Y", 2).Commit(2).
+		Read(3, "X", 1).Commit(3).
+		History()
+	g := BuildPrecedenceGraph(h)
+	var rt, rf int
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case EdgeRealTime:
+			rt++
+		case EdgeReadsFrom:
+			rf++
+			if e.From != 1 || e.To != 3 || e.Obj != "X" {
+				t.Errorf("unexpected reads-from edge %s", e)
+			}
+			if !strings.Contains(e.String(), "reads-from on X") {
+				t.Errorf("edge rendering: %s", e)
+			}
+		}
+	}
+	if rt == 0 || rf != 1 {
+		t.Fatalf("edges: %d real-time, %d reads-from; want >0 and 1", rt, rf)
+	}
+	if cyc := g.Cycle(); cyc != nil {
+		t.Fatalf("unexpected cycle %v", cyc)
+	}
+}
+
+func TestPrecedenceGraphCycleRefutation(t *testing.T) {
+	// The real-time inversion: T1 (reads X=1, commits) fully precedes T2
+	// (writes X=1, commits). Reads-from forces T2 -> T1, real time forces
+	// T1 -> T2: cycle.
+	h := history.NewBuilder().
+		Read(1, "X", 1).Commit(1).
+		Write(2, "X", 1).Commit(2).
+		History()
+	g := BuildPrecedenceGraph(h)
+	cyc := g.Cycle()
+	if cyc == nil {
+		t.Fatal("expected a cycle")
+	}
+	if len(cyc) < 3 || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("malformed cycle %v", cyc)
+	}
+	v := CheckDUOpacityGraph(h)
+	if v.OK {
+		t.Fatal("cycle should refute du-opacity")
+	}
+	if !strings.Contains(v.Reason, "precedence cycle") {
+		t.Fatalf("reason %q should mention the cycle", v.Reason)
+	}
+	if v.Nodes != 0 {
+		t.Fatalf("refutation should not search (nodes=%d)", v.Nodes)
+	}
+}
+
+func TestCheckDUOpacityGraphAgreesWithExact(t *testing.T) {
+	histories := []*history.History{
+		history.NewBuilder().Write(1, "X", 1).Commit(1).Read(2, "X", 1).Commit(2).History(),
+		history.NewBuilder().Read(1, "X", 1).Commit(1).Write(2, "X", 1).Commit(2).History(),
+		history.NewBuilder().
+			InvWrite(1, "X", 1).ResWrite(1, "X", 1).
+			Read(2, "X", 1).Commit(2).Commit(1).History(), // du violation, acyclic graph
+		history.NewBuilder().
+			Write(1, "X", 1).InvTryCommit(1).
+			Read(2, "X", 1).Commit(2).History(),
+	}
+	for i, h := range histories {
+		exact := CheckDUOpacity(h).OK
+		graph := CheckDUOpacityGraph(h).OK
+		if exact != graph {
+			t.Errorf("history %d: exact=%v graph=%v", i, exact, graph)
+		}
+	}
+}
+
+func TestPrecedenceGraphNonUniqueWritesSkipsReadsFrom(t *testing.T) {
+	// Two writers of the same value: reads-from is ambiguous, so no
+	// reads-from edges may be forced.
+	h := history.NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Write(2, "X", 1).Commit(2).
+		Read(3, "X", 1).Commit(3).
+		History()
+	g := BuildPrecedenceGraph(h)
+	for _, e := range g.Edges {
+		if e.Kind == EdgeReadsFrom {
+			t.Fatalf("forced reads-from edge %s despite ambiguous writers", e)
+		}
+	}
+}

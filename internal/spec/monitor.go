@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"fmt"
+
+	"duopacity/internal/history"
+)
+
+// Monitor checks a criterion online while a history is being produced —
+// the use the paper's Section 5 envisions for a constructive correctness
+// condition. Prefix closure (Corollary 2 for du-opacity; Definition 5 for
+// opacity) makes monitoring sound: once a prefix is rejected, every
+// extension is rejected, so the monitor latches the violation.
+//
+// Two optimizations keep the per-event cost low:
+//
+//   - only response events can change the verdict (appending an invocation
+//     to an accepted history preserves acceptance: the new pending
+//     operation is aborted by every completion without constraining
+//     legality, and a new pending tryC only adds completion choices);
+//   - before searching, the monitor tries to re-validate the previous
+//     witness — extended with any transactions that appeared since —
+//     using the search-free validator, which usually succeeds when the
+//     new event does not change who must precede whom.
+type Monitor struct {
+	crit Criterion
+	opts options
+
+	evs     []history.Event
+	h       *history.History
+	verdict Verdict
+	// latched is set once a violation is definitive (prefix closure).
+	latched bool
+	// searches and fastHits count full searches vs. witness reuses, for
+	// introspection and benchmarks.
+	searches int
+	fastHits int
+}
+
+// NewMonitor returns a monitor for the given criterion. Supported
+// criteria are DUOpacity, FinalStateOpacity and Opacity (for which
+// prefix-wise monitoring is the definition itself).
+func NewMonitor(c Criterion, opts ...Option) (*Monitor, error) {
+	switch c {
+	case DUOpacity, FinalStateOpacity, Opacity:
+	default:
+		return nil, fmt.Errorf("spec: criterion %v not supported by the monitor", c)
+	}
+	m := &Monitor{crit: c, opts: buildOptions(opts)}
+	m.h = history.MustFromEvents(nil)
+	m.verdict = Verdict{Criterion: c, OK: true, Serialization: &history.Seq{}}
+	return m, nil
+}
+
+// Stats reports how many full searches and witness reuses the monitor has
+// performed.
+func (m *Monitor) Stats() (searches, fastHits int) {
+	return m.searches, m.fastHits
+}
+
+// History returns the history observed so far.
+func (m *Monitor) History() *history.History { return m.h }
+
+// Verdict returns the verdict for the history observed so far.
+func (m *Monitor) Verdict() Verdict { return m.verdict }
+
+// Append observes one event and returns the updated verdict. It returns
+// an error (leaving the monitor unchanged) when the event would make the
+// history ill-formed.
+func (m *Monitor) Append(e history.Event) (Verdict, error) {
+	evs := append(m.evs, e)
+	h, err := history.FromEvents(evs)
+	if err != nil {
+		return m.verdict, err
+	}
+	m.evs = evs
+	m.h = h
+	if m.latched {
+		// Prefix closure: the violation is permanent. Keep the original
+		// refutation.
+		return m.verdict, nil
+	}
+	if e.Kind == history.Inv {
+		// Invocation events cannot break acceptance; the verdict carries
+		// over (the witness may name fewer transactions than the history;
+		// re-derive lazily on the next response).
+		return m.verdict, nil
+	}
+	m.verdict = m.recheck()
+	if !m.verdict.OK && !m.verdict.Undecided {
+		m.latched = true
+	}
+	return m.verdict, nil
+}
+
+// recheck computes the verdict for the current history, trying witness
+// reuse first (for the du / final-state criteria whose witnesses we can
+// cheaply re-validate).
+func (m *Monitor) recheck() Verdict {
+	if m.crit == DUOpacity && m.verdict.OK && m.verdict.Serialization != nil {
+		if s := m.extendWitness(m.verdict.Serialization); s != nil {
+			if err := VerifySerialization(m.h, s); err == nil {
+				m.fastHits++
+				return Verdict{Criterion: m.crit, OK: true, Serialization: s}
+			}
+		}
+	}
+	m.searches++
+	switch m.crit {
+	case DUOpacity:
+		return CheckDUOpacity(m.h, WithNodeLimit(m.opts.nodeLimit))
+	case FinalStateOpacity:
+		return CheckFinalStateOpacity(m.h, WithNodeLimit(m.opts.nodeLimit))
+	default:
+		return CheckOpacity(m.h, WithNodeLimit(m.opts.nodeLimit))
+	}
+}
+
+// extendWitness rebuilds the previous witness against the current history:
+// same transaction order and commit decisions, with transactions that
+// appeared since appended at the end (committing those whose tryC
+// committed in H). Returns nil when the previous order is no longer
+// constructible.
+func (m *Monitor) extendWitness(prev *history.Seq) *history.Seq {
+	inPrev := make(map[history.TxnID]bool, len(prev.Txns))
+	commit := make(map[history.TxnID]bool, m.h.NumTxns())
+	order := make([]history.TxnID, 0, m.h.NumTxns())
+	for i := range prev.Txns {
+		st := &prev.Txns[i]
+		if m.h.Txn(st.ID) == nil {
+			return nil
+		}
+		inPrev[st.ID] = true
+		order = append(order, st.ID)
+		commit[st.ID] = st.Committed()
+	}
+	for _, k := range m.h.Txns() {
+		if !inPrev[k] {
+			order = append(order, k)
+			commit[k] = m.h.Txn(k).Committed() || m.h.Txn(k).CommitPending()
+		}
+	}
+	s, err := history.SeqFromHistory(m.h, order, commit)
+	if err != nil {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package spec_test
+
+import (
+	"testing"
+
+	"duopacity/internal/gen"
+	"duopacity/internal/history"
+	"duopacity/internal/litmus"
+	"duopacity/internal/spec"
+)
+
+func feed(t *testing.T, m *spec.Monitor, h *history.History) spec.Verdict {
+	t.Helper()
+	var v spec.Verdict
+	for _, e := range h.Events() {
+		var err error
+		v, err = m.Append(e)
+		if err != nil {
+			t.Fatalf("append %v: %v", e, err)
+		}
+	}
+	return v
+}
+
+func TestMonitorMatchesBatchOnLitmus(t *testing.T) {
+	for _, c := range litmus.Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := spec.NewMonitor(spec.DUOpacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := feed(t, m, c.H)
+			want := spec.CheckDUOpacity(c.H).OK
+			if v.OK != want {
+				t.Fatalf("monitor = %v, batch = %v (reason: %s)", v.OK, want, v.Reason)
+			}
+		})
+	}
+}
+
+func TestMonitorLatchesViolation(t *testing.T) {
+	m, err := spec.NewMonitor(spec.DUOpacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read of a never-written value: violated at the read's response.
+	h := history.NewBuilder().
+		Read(1, "X", 7).
+		Commit(1).
+		History()
+	evs := h.Events()
+	var v spec.Verdict
+	for i, e := range evs {
+		v, err = m.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 1 && v.OK {
+			t.Fatalf("event %d: violation not detected", i)
+		}
+	}
+	if v.OK {
+		t.Fatal("final verdict should be violated")
+	}
+	// The refutation reason survives later events (latched).
+	if v.Reason == "" {
+		t.Fatal("missing reason")
+	}
+}
+
+func TestMonitorDetectsAtTheRightEvent(t *testing.T) {
+	// Figure 3: the violation becomes definitive exactly at read_2's
+	// response (the first prefix that is not final-state opaque), not
+	// before.
+	m, err := spec.NewMonitor(spec.FinalStateOpacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := litmus.Figure3()
+	evs := h.Events()
+	for i, e := range evs {
+		v, err := m.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < litmus.Figure3PrefixLen-1 && !v.OK {
+			t.Fatalf("event %d: premature violation", i)
+		}
+		if i == litmus.Figure3PrefixLen-1 && v.OK {
+			t.Fatalf("event %d: violation missed", i)
+		}
+	}
+	// Note: monitored final-state opacity is prefix-latched, i.e. it
+	// decides *opacity*; the full Figure 3 history itself is final-state
+	// opaque again, which is exactly the non-prefix-closure anomaly.
+	if spec.CheckFinalStateOpacity(h).OK != true {
+		t.Fatal("figure 3 should be final-state opaque as a whole")
+	}
+	if m.Verdict().OK {
+		t.Fatal("monitor must stay latched")
+	}
+}
+
+func TestMonitorFastPathHits(t *testing.T) {
+	m, err := spec.NewMonitor(spec.DUOpacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := gen.DUOpaque(gen.Config{Txns: 8, Objects: 3, OpsPerTxn: 3, Relax: 4, Seed: 5})
+	feed(t, m, h)
+	if !m.Verdict().OK {
+		t.Fatalf("generated du-opaque history rejected: %s", m.Verdict().Reason)
+	}
+	searches, hits := m.Stats()
+	if hits == 0 {
+		t.Error("witness reuse never succeeded on an extending du-opaque history")
+	}
+	if searches == 0 {
+		t.Error("expected at least one full search (the first response)")
+	}
+	t.Logf("searches=%d fastHits=%d", searches, hits)
+}
+
+func TestMonitorRejectsMalformedEvent(t *testing.T) {
+	m, err := spec.NewMonitor(spec.DUOpacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(history.Event{Kind: history.Res, Op: history.OpRead, Txn: 1, Obj: "X", Out: history.OutOK}); err == nil {
+		t.Fatal("orphan response accepted")
+	}
+	// The monitor state is unchanged and usable.
+	if m.History().Len() != 0 {
+		t.Fatal("failed append mutated the monitor")
+	}
+	if _, err := m.Append(history.Event{Kind: history.Inv, Op: history.OpRead, Txn: 1, Obj: "X"}); err != nil {
+		t.Fatalf("valid append after failure: %v", err)
+	}
+}
+
+func TestMonitorUnsupportedCriterion(t *testing.T) {
+	if _, err := spec.NewMonitor(spec.TMS2); err == nil {
+		t.Fatal("spec.TMS2 monitoring should be rejected")
+	}
+}
+
+func TestMonitorOpacityCriterion(t *testing.T) {
+	m, err := spec.NewMonitor(spec.Opacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := feed(t, m, litmus.Figure4())
+	if !v.OK {
+		t.Fatalf("figure 4 is opaque; monitor said %s", v.Reason)
+	}
+	m2, err := spec.NewMonitor(spec.Opacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := feed(t, m2, litmus.Figure3()); v.OK {
+		t.Fatal("figure 3 is not opaque; monitor accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"fmt"
+
+	"duopacity/internal/history"
+)
+
+// VerifySerialization independently checks that s is a du-opaque
+// serialization of h per Definition 3, without any search:
+//
+//  1. s is equivalent to some completion of h and is legal;
+//  2. s respects the real-time order of h;
+//  3. every read that returns a value is legal in its local serialization
+//     with respect to h and s.
+//
+// It returns nil when s is a valid witness. The checkers' witnesses and
+// the constructions of package koenig (Lemma 1, Lemma 4, Theorem 5) are
+// validated with this function, so the exhaustive search and the
+// definition are implemented independently and checked against each other.
+func VerifySerialization(h *history.History, s *history.Seq) error {
+	if err := s.MatchesCompletionOf(h); err != nil {
+		return fmt.Errorf("spec: not a completion: %w", err)
+	}
+	if err := s.Legal(); err != nil {
+		return fmt.Errorf("spec: not legal: %w", err)
+	}
+	// Condition 2: real-time order.
+	pos := make(map[history.TxnID]int, len(s.Txns))
+	for i := range s.Txns {
+		pos[s.Txns[i].ID] = i
+	}
+	for _, a := range h.Txns() {
+		for _, b := range h.Txns() {
+			if h.RealTimePrecedes(a, b) && pos[a] > pos[b] {
+				return fmt.Errorf("spec: real-time violation: T%d ≺RT T%d but T%d <S T%d", a, b, b, a)
+			}
+		}
+	}
+	// Condition 3: local-serialization legality of every value-returning
+	// read. Walk s in order, maintaining per-object stacks of committed
+	// writers with their tryC invocation index in h.
+	type writer struct {
+		tryCInv int
+		val     history.Value
+	}
+	stacks := make(map[history.Var][]writer)
+	for i := range s.Txns {
+		st := &s.Txns[i]
+		ht := h.Txn(st.ID)
+		overlay := make(map[history.Var]history.Value)
+		for opIdx, op := range st.Ops {
+			switch op.Kind {
+			case history.OpWrite:
+				if !op.Pending && op.Out == history.OutOK {
+					overlay[op.Obj] = op.Arg
+				}
+			case history.OpRead:
+				if op.Pending || op.Out != history.OutOK {
+					continue
+				}
+				if v, ok := overlay[op.Obj]; ok {
+					if v != op.Val {
+						return fmt.Errorf("spec: T%d op %d: own-write read %v, want %d", st.ID, opIdx, op, v)
+					}
+					continue
+				}
+				// The read's response index in h (the op exists in h
+				// because it returned a value).
+				resIdx := ht.Ops[opIdx].ResIndex
+				want := history.InitValue
+				for j := len(stacks[op.Obj]) - 1; j >= 0; j-- {
+					w := stacks[op.Obj][j]
+					if w.tryCInv >= 0 && w.tryCInv < resIdx {
+						want = w.val
+						break
+					}
+				}
+				if op.Val != want {
+					return fmt.Errorf(
+						"spec: T%d: %v is not legal in its local serialization (latest included committed write is %d)",
+						st.ID, op, want)
+				}
+			}
+		}
+		if st.Committed() {
+			// The writer's tryC invocation index in h: -1 for synthetic
+			// completions, which cannot happen for committed transactions
+			// (a committed transaction's tryC was invoked in h).
+			for obj, val := range st.LastWrites() {
+				stacks[obj] = append(stacks[obj], writer{tryCInv: ht.TryCInv, val: val})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package dstm implements a DSTM-style obstruction-free STM (Herlihy,
+// Luchangco, Moir, Scherer, PODC 2003): per-object locators carrying the
+// owning transaction's descriptor plus old and new values, acquired by
+// CAS at first write, with invisible validated reads and a pluggable
+// contention manager.
+//
+// A transaction's writes live in the new-value slot of the locators it
+// owns and become visible atomically when its descriptor's status flips to
+// committed — i.e. during tryC. Readers of an object owned by an active
+// transaction see the old value, so no transaction ever reads from a
+// transaction that has not started committing: recorded histories are
+// du-opaque, like TL2's and NOrec's.
+package dstm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"duopacity/internal/stm"
+)
+
+// status values of a transaction descriptor.
+const (
+	active int32 = iota
+	committed
+	aborted
+)
+
+// Manager is a contention-management policy: what a transaction does when
+// it finds an object owned by another active transaction.
+type Manager uint8
+
+const (
+	// Aggressive aborts the conflicting owner immediately.
+	Aggressive Manager = iota + 1
+	// Polite yields a few times, then aborts the owner.
+	Polite
+	// Timid aborts itself.
+	Timid
+)
+
+// String returns the policy name.
+func (m Manager) String() string {
+	switch m {
+	case Aggressive:
+		return "aggressive"
+	case Polite:
+		return "polite"
+	case Timid:
+		return "timid"
+	default:
+		return "unknown"
+	}
+}
+
+// desc is a transaction descriptor; locators point at it.
+type desc struct {
+	status atomic.Int32
+}
+
+// locator binds an object version to its owning transaction: if the owner
+// committed the current value is newVal, otherwise oldVal. Locators are
+// immutable except for newVal, which only the active owner writes (and
+// readers only access after observing the owner committed, which the
+// status load orders).
+type locator struct {
+	owner  *desc
+	oldVal int64
+	newVal int64
+}
+
+// TM is a DSTM-style software transactional memory.
+type TM struct {
+	policy Manager
+	objs   []atomic.Pointer[locator]
+}
+
+var _ stm.Engine = (*TM)(nil)
+
+// Option configures the engine.
+type Option func(*TM)
+
+// WithManager selects the contention-management policy (default
+// Aggressive).
+func WithManager(m Manager) Option {
+	return func(t *TM) { t.policy = m }
+}
+
+// New returns a DSTM TM over objects t-objects initialized to zero.
+func New(objects int, opts ...Option) *TM {
+	t := &TM{policy: Aggressive, objs: make([]atomic.Pointer[locator], objects)}
+	for _, o := range opts {
+		o(t)
+	}
+	root := &desc{}
+	root.status.Store(committed)
+	for i := range t.objs {
+		t.objs[i].Store(&locator{owner: root})
+	}
+	return t
+}
+
+// Name implements stm.Engine.
+func (t *TM) Name() string { return "dstm" }
+
+// Objects implements stm.Engine.
+func (t *TM) Objects() int { return len(t.objs) }
+
+// Begin implements stm.Engine.
+func (t *TM) Begin() stm.Txn {
+	x := &txn{tm: t, self: &desc{}}
+	return x
+}
+
+type readEntry struct {
+	obj int
+	val int64
+}
+
+type txn struct {
+	tm    *TM
+	self  *desc
+	rset  []readEntry
+	wrote map[int]*locator // locators this transaction owns
+}
+
+var _ stm.Txn = (*txn)(nil)
+
+// current resolves a locator to the object's current committed value.
+func current(l *locator) int64 {
+	if l.owner.status.Load() == committed {
+		return l.newVal
+	}
+	return l.oldVal
+}
+
+func (x *txn) alive() bool { return x.self.status.Load() == active }
+
+func (x *txn) Read(obj int) (int64, error) {
+	if !x.alive() {
+		return 0, stm.ErrAborted
+	}
+	if l, ok := x.wrote[obj]; ok {
+		return l.newVal, nil // own speculative value
+	}
+	l := x.tm.objs[obj].Load()
+	v := current(l)
+	x.rset = append(x.rset, readEntry{obj: obj, val: v})
+	// Invisible reads demand validation on every access to preserve
+	// opacity (the DSTM paper's per-open validation).
+	if !x.validate() {
+		x.Abort()
+		return 0, stm.ErrAborted
+	}
+	return v, nil
+}
+
+// validate re-checks every logged read against the objects' current
+// values and confirms the transaction is still active.
+func (x *txn) validate() bool {
+	for _, r := range x.rset {
+		l := x.tm.objs[r.obj].Load()
+		if owned, ok := x.wrote[r.obj]; ok && l == owned {
+			// We own it: compare against the pre-acquisition value.
+			if l.oldVal != r.val {
+				return false
+			}
+			continue
+		}
+		if current(l) != r.val {
+			return false
+		}
+	}
+	return x.alive()
+}
+
+func (x *txn) Write(obj int, v int64) error {
+	if !x.alive() {
+		return stm.ErrAborted
+	}
+	if l, ok := x.wrote[obj]; ok {
+		l.newVal = v // we own the locator: update the speculative slot
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		if !x.alive() {
+			return stm.ErrAborted
+		}
+		old := x.tm.objs[obj].Load()
+		if st := old.owner.status.Load(); st == active && old.owner != x.self {
+			if !x.manageConflict(old.owner, attempt) {
+				x.Abort()
+				return stm.ErrAborted
+			}
+			continue // the owner is no longer active; re-read the locator
+		}
+		cur := current(old)
+		nl := &locator{owner: x.self, oldVal: cur, newVal: v}
+		if x.tm.objs[obj].CompareAndSwap(old, nl) {
+			if x.wrote == nil {
+				x.wrote = make(map[int]*locator)
+			}
+			x.wrote[obj] = nl
+			// Acquiring may have raced with a conflicting commit; the
+			// read set must still hold.
+			if !x.validate() {
+				x.Abort()
+				return stm.ErrAborted
+			}
+			return nil
+		}
+	}
+}
+
+// manageConflict applies the contention policy against an active owner.
+// It returns false if the caller must abort itself.
+func (x *txn) manageConflict(owner *desc, attempt int) bool {
+	switch x.tm.policy {
+	case Timid:
+		return false
+	case Polite:
+		if attempt < 4 {
+			runtime.Gosched()
+			return true
+		}
+		fallthrough
+	default: // Aggressive
+		owner.status.CompareAndSwap(active, aborted)
+		return true
+	}
+}
+
+func (x *txn) Commit() error {
+	if !x.alive() {
+		return stm.ErrAborted
+	}
+	if !x.validate() {
+		x.Abort()
+		return stm.ErrAborted
+	}
+	// The commit point: all owned locators' new values become current
+	// atomically. CAS can fail if a contention manager aborted us.
+	if !x.self.status.CompareAndSwap(active, committed) {
+		return stm.ErrAborted
+	}
+	return nil
+}
+
+func (x *txn) Abort() {
+	x.self.status.CompareAndSwap(active, aborted)
+}

@@ -1,0 +1,167 @@
+package dstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/stmtest"
+)
+
+func factory(objects int) stm.Engine { return New(objects) }
+
+func TestBasic(t *testing.T)         { stmtest.Basic(t, factory) }
+func TestAbortRollback(t *testing.T) { stmtest.AbortRollback(t, factory) }
+func TestUserError(t *testing.T)     { stmtest.UserError(t, factory) }
+func TestCounter(t *testing.T)       { stmtest.Counter(t, factory, 8, 200) }
+func TestSmoke(t *testing.T)         { stmtest.Smoke(t, factory, 8, 200) }
+
+func TestPolicies(t *testing.T) {
+	for _, m := range []Manager{Aggressive, Polite, Timid} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			f := func(objects int) stm.Engine { return New(objects, WithManager(m)) }
+			stmtest.Basic(t, f)
+			stmtest.Smoke(t, f, 4, 100)
+		})
+	}
+	if Manager(0).String() != "unknown" {
+		t.Error("zero manager should render unknown")
+	}
+}
+
+func TestReadersSeeOldValueOfActiveOwner(t *testing.T) {
+	// The deferred-update guarantee: while a writer is active, readers see
+	// the pre-transaction value.
+	tm := New(1)
+	w := tm.Begin()
+	if err := w.Write(0, 42); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r := tm.Begin()
+	v, err := r.Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("reader saw %d, want the committed 0", v)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatalf("reader commit: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("writer commit: %v", err)
+	}
+	// After commit the new value is current.
+	r2 := tm.Begin()
+	if v, err := r2.Read(0); err != nil || v != 42 {
+		t.Fatalf("post-commit read = %d, %v; want 42", v, err)
+	}
+	_ = r2.Commit()
+}
+
+func TestAggressiveAbortsConflictingOwner(t *testing.T) {
+	tm := New(1) // Aggressive by default
+	a := tm.Begin()
+	if err := a.Write(0, 1); err != nil {
+		t.Fatalf("a.Write: %v", err)
+	}
+	b := tm.Begin()
+	if err := b.Write(0, 2); err != nil {
+		t.Fatalf("b.Write should steal ownership: %v", err)
+	}
+	// a was aborted by b's contention manager.
+	if err := a.Commit(); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("a.Commit = %v, want ErrAborted", err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("b.Commit: %v", err)
+	}
+	r := tm.Begin()
+	if v, _ := r.Read(0); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	_ = r.Commit()
+}
+
+func TestTimidAbortsSelf(t *testing.T) {
+	tm := New(1, WithManager(Timid))
+	a := tm.Begin()
+	if err := a.Write(0, 1); err != nil {
+		t.Fatalf("a.Write: %v", err)
+	}
+	b := tm.Begin()
+	if err := b.Write(0, 2); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("timid b.Write = %v, want ErrAborted", err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("a.Commit: %v", err)
+	}
+}
+
+func TestValidationCatchesStaleRead(t *testing.T) {
+	tm := New(2)
+	r := tm.Begin()
+	if _, err := r.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// A writer commits a change to object 0.
+	if err := stm.Atomically(tm, func(tx stm.Txn) error { return tx.Write(0, 9) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	// The reader's next access validates the read log and aborts.
+	if _, err := r.Read(1); !errors.Is(err, stm.ErrAborted) {
+		t.Fatalf("stale read = %v, want ErrAborted", err)
+	}
+}
+
+func TestSpeculativeValuesInvisibleAfterAbort(t *testing.T) {
+	tm := New(1)
+	w := tm.Begin()
+	if err := w.Write(0, 7); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	w.Abort()
+	r := tm.Begin()
+	if v, _ := r.Read(0); v != 0 {
+		t.Fatalf("aborted speculative value leaked: %d", v)
+	}
+	_ = r.Commit()
+}
+
+func TestConcurrentMixedPolicies(t *testing.T) {
+	// Several goroutines over a polite TM: no deadlock, exact counting.
+	tm := New(1, WithManager(Polite))
+	var wg sync.WaitGroup
+	const workers, incs = 6, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				err := stm.Atomically(tm, func(tx stm.Txn) error {
+					v, err := tx.Read(0)
+					if err != nil {
+						return err
+					}
+					return tx.Write(0, v+1)
+				})
+				if err != nil {
+					t.Errorf("increment: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx := tm.Begin()
+	v, err := tx.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Commit()
+	if v != workers*incs {
+		t.Fatalf("counter = %d, want %d", v, workers*incs)
+	}
+}

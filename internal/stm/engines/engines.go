@@ -1,0 +1,54 @@
+// Package engines is the registry of the STM engines shipped with the
+// repository, keyed by name for the CLI tools and the harness.
+package engines
+
+import (
+	"fmt"
+
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/dstm"
+	"duopacity/internal/stm/etl"
+	"duopacity/internal/stm/gl"
+	"duopacity/internal/stm/norec"
+	"duopacity/internal/stm/ple"
+	"duopacity/internal/stm/tl2"
+)
+
+// Names lists the registered engine names in presentation order.
+func Names() []string {
+	return []string{"tl2", "norec", "dstm", "etl", "etl+v", "gl", "ple"}
+}
+
+// DeferredUpdate reports whether the named engine implements
+// deferred-update semantics by construction (and is therefore expected to
+// produce du-opaque histories).
+func DeferredUpdate(name string) bool {
+	switch name {
+	case "tl2", "norec", "dstm", "gl":
+		return true
+	default:
+		return false
+	}
+}
+
+// New constructs the named engine over the given number of t-objects.
+func New(name string, objects int) (stm.Engine, error) {
+	switch name {
+	case "tl2":
+		return tl2.New(objects), nil
+	case "norec":
+		return norec.New(objects), nil
+	case "dstm":
+		return dstm.New(objects), nil
+	case "etl":
+		return etl.New(objects), nil
+	case "etl+v":
+		return etl.New(objects, etl.WithValidation()), nil
+	case "gl":
+		return gl.New(objects), nil
+	case "ple":
+		return ple.New(objects), nil
+	default:
+		return nil, fmt.Errorf("engines: unknown engine %q (have %v)", name, Names())
+	}
+}

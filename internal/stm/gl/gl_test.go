@@ -1,0 +1,59 @@
+package gl
+
+import (
+	"testing"
+
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/stmtest"
+)
+
+func factory(objects int) stm.Engine { return New(objects) }
+
+func TestBasic(t *testing.T)         { stmtest.Basic(t, factory) }
+func TestAbortRollback(t *testing.T) { stmtest.AbortRollback(t, factory) }
+func TestUserError(t *testing.T)     { stmtest.UserError(t, factory) }
+func TestCounter(t *testing.T)       { stmtest.Counter(t, factory, 8, 200) }
+func TestBankInvariant(t *testing.T) { stmtest.BankInvariant(t, factory, 8, 300) }
+func TestSmoke(t *testing.T)         { stmtest.Smoke(t, factory, 8, 200) }
+
+func TestNeverAborts(t *testing.T) {
+	tm := New(2)
+	for i := 0; i < 100; i++ {
+		tx := tm.Begin()
+		if _, err := tx.Read(0); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := tx.Write(1, int64(i)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("gl transaction aborted: %v", err)
+		}
+	}
+}
+
+func TestSerialExecution(t *testing.T) {
+	// With the global lock held by an open transaction, a second Begin
+	// blocks; committing releases it.
+	tm := New(1)
+	tx := tm.Begin()
+	started := make(chan struct{})
+	finished := make(chan int64)
+	go func() {
+		close(started)
+		tx2 := tm.Begin() // blocks until tx completes
+		v, _ := tx2.Read(0)
+		_ = tx2.Commit()
+		finished <- v
+	}()
+	<-started
+	if err := tx.Write(0, 9); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if v := <-finished; v != 9 {
+		t.Fatalf("second transaction read %d, want 9", v)
+	}
+}

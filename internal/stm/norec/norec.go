@@ -1,0 +1,141 @@
+// Package norec implements NOrec (Dalessandro, Spear and Scott, PPoPP
+// 2010): a deferred-update STM with no ownership records — a single global
+// sequence lock plus value-based read validation.
+//
+// The global counter is even when no writer is committing. Readers snapshot
+// the counter, read values directly, and re-validate their whole read log
+// (by value) whenever the counter moves; writers serialize on the counter
+// (odd = locked), re-validate, write back, and release. Like TL2, NOrec is
+// deferred-update by construction.
+package norec
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"duopacity/internal/stm"
+)
+
+// TM is a NOrec software transactional memory.
+type TM struct {
+	seq  atomic.Int64 // even: unlocked; odd: a writer is committing
+	vals []atomic.Int64
+}
+
+var _ stm.Engine = (*TM)(nil)
+
+// New returns a NOrec TM over objects t-objects initialized to zero.
+func New(objects int) *TM {
+	return &TM{vals: make([]atomic.Int64, objects)}
+}
+
+// Name implements stm.Engine.
+func (t *TM) Name() string { return "norec" }
+
+// Objects implements stm.Engine.
+func (t *TM) Objects() int { return len(t.vals) }
+
+// Begin implements stm.Engine.
+func (t *TM) Begin() stm.Txn {
+	return &txn{tm: t, snap: t.stableSeq(), wset: make(map[int]int64)}
+}
+
+// stableSeq waits for an even (unlocked) sequence value.
+func (t *TM) stableSeq() int64 {
+	for {
+		s := t.seq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+type readEntry struct {
+	obj int
+	val int64
+}
+
+type txn struct {
+	tm   *TM
+	snap int64
+	rset []readEntry
+	wset map[int]int64
+	dead bool
+}
+
+var _ stm.Txn = (*txn)(nil)
+
+func (x *txn) Read(obj int) (int64, error) {
+	if x.dead {
+		return 0, stm.ErrAborted
+	}
+	if v, ok := x.wset[obj]; ok {
+		return v, nil
+	}
+	for {
+		v := x.tm.vals[obj].Load()
+		if x.tm.seq.Load() == x.snap {
+			x.rset = append(x.rset, readEntry{obj: obj, val: v})
+			return v, nil
+		}
+		// The counter moved: re-validate the read log against a fresh
+		// stable snapshot, then retry the read.
+		snap, ok := x.revalidate()
+		if !ok {
+			x.dead = true
+			return 0, stm.ErrAborted
+		}
+		x.snap = snap
+	}
+}
+
+// revalidate returns a stable sequence value under which every logged read
+// still holds by value.
+func (x *txn) revalidate() (int64, bool) {
+	for {
+		s := x.tm.stableSeq()
+		for _, r := range x.rset {
+			if x.tm.vals[r.obj].Load() != r.val {
+				return 0, false
+			}
+		}
+		if x.tm.seq.Load() == s {
+			return s, true
+		}
+	}
+}
+
+func (x *txn) Write(obj int, v int64) error {
+	if x.dead {
+		return stm.ErrAborted
+	}
+	x.wset[obj] = v
+	return nil
+}
+
+func (x *txn) Commit() error {
+	if x.dead {
+		return stm.ErrAborted
+	}
+	x.dead = true
+	if len(x.wset) == 0 {
+		return nil // read-only: the log was valid at snap
+	}
+	// Acquire the sequence lock at a snapshot under which our reads are
+	// valid.
+	for !x.tm.seq.CompareAndSwap(x.snap, x.snap+1) {
+		snap, ok := x.revalidate()
+		if !ok {
+			return stm.ErrAborted
+		}
+		x.snap = snap
+	}
+	for o, v := range x.wset {
+		x.tm.vals[o].Store(v)
+	}
+	x.tm.seq.Store(x.snap + 2)
+	return nil
+}
+
+func (x *txn) Abort() { x.dead = true }

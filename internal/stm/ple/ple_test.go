@@ -1,0 +1,104 @@
+package ple
+
+import (
+	"testing"
+
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/stmtest"
+)
+
+func factory(objects int) stm.Engine { return New(objects) }
+
+func TestBasic(t *testing.T)         { stmtest.Basic(t, factory) }
+func TestAbortRollback(t *testing.T) { stmtest.AbortRollback(t, factory) }
+func TestUserError(t *testing.T)     { stmtest.UserError(t, factory) }
+func TestSmoke(t *testing.T)         { stmtest.Smoke(t, factory, 8, 200) }
+
+func TestNeverAborts(t *testing.T) {
+	tm := New(2)
+	for i := 0; i < 100; i++ {
+		tx := tm.Begin()
+		if _, err := tx.Read(0); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := tx.Write(1, int64(i)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("ple transaction aborted: %v", err)
+		}
+	}
+}
+
+func TestInPlaceWritesVisibleToReadersBeforeCommit(t *testing.T) {
+	// The defining violation: a reader observes a writer's value before
+	// the writer invokes tryC — deterministically, no race needed.
+	tm := New(1)
+	w := tm.Begin()
+	if err := w.Write(0, 42); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r := tm.Begin()
+	v, err := r.Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("reader saw %d, want the uncommitted 42", v)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatalf("reader commit: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("writer commit: %v", err)
+	}
+}
+
+func TestWritersSerialize(t *testing.T) {
+	tm := New(1)
+	a := tm.Begin()
+	if err := a.Write(0, 1); err != nil {
+		t.Fatalf("a.Write: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		b := tm.Begin()
+		// b's first write blocks until a commits.
+		if err := b.Write(0, 2); err != nil {
+			t.Errorf("b.Write: %v", err)
+		}
+		if err := b.Commit(); err != nil {
+			t.Errorf("b.Commit: %v", err)
+		}
+		close(done)
+	}()
+	if err := a.Commit(); err != nil {
+		t.Fatalf("a.Commit: %v", err)
+	}
+	<-done
+	tx := tm.Begin()
+	v, _ := tx.Read(0)
+	_ = tx.Commit()
+	if v != 2 {
+		t.Fatalf("final value = %d, want 2", v)
+	}
+}
+
+func TestAbortRollsBackInPlaceWrites(t *testing.T) {
+	tm := New(2)
+	w := tm.Begin()
+	if err := w.Write(0, 5); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.Write(1, 6); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	w.Abort()
+	tx := tm.Begin()
+	for obj := 0; obj < 2; obj++ {
+		if v, err := tx.Read(obj); err != nil || v != 0 {
+			t.Fatalf("object %d = %d, %v; want 0", obj, v, err)
+		}
+	}
+	_ = tx.Commit()
+}

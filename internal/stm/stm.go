@@ -1,0 +1,97 @@
+// Package stm defines the engine-neutral software transactional memory
+// interface shared by the engines under internal/stm/... and the tooling
+// that records and certifies their histories.
+//
+// A TM manages a fixed array of t-objects addressed by index, each holding
+// an int64 and starting at 0 (matching the paper's T_0 writing the initial
+// value to every object). Engines implement Engine/Txn; user code runs
+// transactions through Atomically, which retries aborted attempts.
+//
+// The engines shipped with this repository:
+//
+//   - tl2:   Transactional Locking II — global version clock, per-object
+//     versioned write locks, deferred write-back (Dice, Shalev, Shavit).
+//   - norec: NOrec — single global sequence lock, value-based validation,
+//     deferred write-back (Dalessandro, Spear, Scott).
+//   - dstm:  DSTM-style obstruction-free engine — per-object locators,
+//     CAS acquisition, invisible validated reads, pluggable contention
+//     managers (Herlihy, Luchangco, Moir, Scherer).
+//   - etl:   encounter-time locking with in-place writes and an undo log
+//     (eager, TinySTM-flavoured); optional value-based read validation.
+//   - gl:    a single global lock around each transaction — serial,
+//     abort-free baseline.
+//   - ple:   a pessimistic, abort-free engine with in-place writes and
+//     unvalidated reads, reproducing the non-deferred-update signature the
+//     paper attributes to pessimistic STMs [Afek, Matveev, Shavit].
+package stm
+
+import "errors"
+
+// ErrAborted is returned by Read, Write and Commit when the transaction
+// has aborted; the caller must discard the transaction (and may retry with
+// a fresh one, which Atomically automates).
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// Engine is a software transactional memory over a fixed set of t-objects.
+// Implementations must be safe for concurrent use.
+type Engine interface {
+	// Name identifies the engine (e.g. "tl2").
+	Name() string
+	// Objects returns the number of t-objects managed.
+	Objects() int
+	// Begin starts a transaction. Every transaction must end with Commit
+	// or Abort.
+	Begin() Txn
+}
+
+// Txn is a transaction in progress. A transaction is not safe for
+// concurrent use by multiple goroutines. After any method returns
+// ErrAborted — or after Commit or Abort returns — the transaction is dead
+// and every later call returns ErrAborted.
+type Txn interface {
+	// Read returns the transaction's view of object obj.
+	Read(obj int) (int64, error)
+	// Write records (or applies, in eager engines) a write of v to obj.
+	Write(obj int, v int64) error
+	// Commit attempts to commit: nil means the transaction's effects are
+	// durable and visible; ErrAborted means nothing took effect (in eager
+	// engines, all in-place effects were rolled back).
+	Commit() error
+	// Abort aborts the transaction, rolling back any in-place effects.
+	// Abort is idempotent and safe after an ErrAborted.
+	Abort()
+}
+
+// MaxAttempts bounds Atomically's retry loop; exceeding it returns
+// ErrAborted to the caller rather than spinning forever.
+const MaxAttempts = 1 << 20
+
+// Atomically runs fn inside transactions of e until one commits. If fn
+// returns a non-nil error the attempt is aborted and the error is returned
+// without retrying (user-level errors are not conflicts). A nil return
+// means fn's final attempt committed.
+func Atomically(e Engine, fn func(Txn) error) error {
+	return AtomicallyN(e, MaxAttempts, fn)
+}
+
+// AtomicallyN is Atomically with an explicit attempt bound.
+func AtomicallyN(e Engine, attempts int, fn func(Txn) error) error {
+	for i := 0; i < attempts; i++ {
+		tx := e.Begin()
+		err := fn(tx)
+		switch {
+		case err == nil:
+			if cerr := tx.Commit(); cerr == nil {
+				return nil
+			}
+			// Conflict at commit: retry.
+		case errors.Is(err, ErrAborted):
+			tx.Abort()
+			// Conflict during the body: retry.
+		default:
+			tx.Abort()
+			return err
+		}
+	}
+	return ErrAborted
+}

@@ -1,0 +1,153 @@
+// Package tl2 implements Transactional Locking II (Dice, Shalev and
+// Shavit, DISC 2006): a deferred-update STM with a global version clock
+// and per-object versioned write locks.
+//
+// Reads validate against the transaction's read version (the clock value
+// at begin) and are re-checked for stability; writes are buffered and
+// written back at commit under per-object locks, after the read set is
+// validated against the (incremented) clock. The engine therefore never
+// lets a transaction observe a value written by a transaction that has not
+// started committing — the deferred-update semantics the paper formalizes
+// as du-opacity.
+package tl2
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"duopacity/internal/stm"
+)
+
+// lock words: version << 1 | lockedBit.
+const lockedBit = 1
+
+// TM is a TL2 software transactional memory.
+type TM struct {
+	clock atomic.Int64
+	locks []atomic.Int64 // versioned write-locks
+	vals  []atomic.Int64
+}
+
+var _ stm.Engine = (*TM)(nil)
+
+// New returns a TL2 TM over objects t-objects initialized to zero.
+func New(objects int) *TM {
+	return &TM{
+		locks: make([]atomic.Int64, objects),
+		vals:  make([]atomic.Int64, objects),
+	}
+}
+
+// Name implements stm.Engine.
+func (t *TM) Name() string { return "tl2" }
+
+// Objects implements stm.Engine.
+func (t *TM) Objects() int { return len(t.vals) }
+
+// Begin implements stm.Engine.
+func (t *TM) Begin() stm.Txn {
+	return &txn{tm: t, rv: t.clock.Load(), wset: make(map[int]int64)}
+}
+
+type readEntry struct {
+	obj      int
+	lockSnap int64
+}
+
+type txn struct {
+	tm   *TM
+	rv   int64 // read version
+	rset []readEntry
+	wset map[int]int64
+	dead bool
+}
+
+var _ stm.Txn = (*txn)(nil)
+
+func (x *txn) Read(obj int) (int64, error) {
+	if x.dead {
+		return 0, stm.ErrAborted
+	}
+	if v, ok := x.wset[obj]; ok {
+		return v, nil
+	}
+	l1 := x.tm.locks[obj].Load()
+	v := x.tm.vals[obj].Load()
+	l2 := x.tm.locks[obj].Load()
+	if l1 != l2 || l1&lockedBit != 0 || l1>>1 > x.rv {
+		x.kill()
+		return 0, stm.ErrAborted
+	}
+	x.rset = append(x.rset, readEntry{obj: obj, lockSnap: l1})
+	return v, nil
+}
+
+func (x *txn) Write(obj int, v int64) error {
+	if x.dead {
+		return stm.ErrAborted
+	}
+	x.wset[obj] = v
+	return nil
+}
+
+func (x *txn) Commit() error {
+	if x.dead {
+		return stm.ErrAborted
+	}
+	x.dead = true // one way or another, the transaction ends here
+	if len(x.wset) == 0 {
+		// Read-only transactions commit at their read version: every read
+		// was consistent as of rv.
+		return nil
+	}
+	// Lock the write set in object order (deadlock freedom); fail fast on
+	// contention.
+	objs := make([]int, 0, len(x.wset))
+	for o := range x.wset {
+		objs = append(objs, o)
+	}
+	sort.Ints(objs)
+	locked := make([]int, 0, len(objs))
+	release := func() {
+		for _, o := range locked {
+			cur := x.tm.locks[o].Load()
+			x.tm.locks[o].Store(cur &^ lockedBit)
+		}
+	}
+	for _, o := range objs {
+		l := x.tm.locks[o].Load()
+		if l&lockedBit != 0 || !x.tm.locks[o].CompareAndSwap(l, l|lockedBit) {
+			release()
+			return stm.ErrAborted
+		}
+		locked = append(locked, o)
+	}
+	// Increment the global clock; wv is this commit's version.
+	wv := x.tm.clock.Add(1)
+	// Validate the read set (unless no concurrent commit happened).
+	if wv != x.rv+1 {
+		for _, r := range x.rset {
+			l := x.tm.locks[r.obj].Load()
+			if _, own := x.wset[r.obj]; own {
+				l &^= lockedBit // we hold this lock
+			} else if l&lockedBit != 0 {
+				release()
+				return stm.ErrAborted
+			}
+			if l>>1 > x.rv {
+				release()
+				return stm.ErrAborted
+			}
+		}
+	}
+	// Write back and release with the new version.
+	for _, o := range objs {
+		x.tm.vals[o].Store(x.wset[o])
+		x.tm.locks[o].Store(wv << 1)
+	}
+	return nil
+}
+
+func (x *txn) Abort() { x.dead = true }
+
+func (x *txn) kill() { x.dead = true }
