@@ -7,10 +7,13 @@
 package duopacity_test
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 
+	"duopacity/internal/checkfarm"
 	"duopacity/internal/gen"
 	"duopacity/internal/harness"
 	"duopacity/internal/history"
@@ -385,6 +388,95 @@ func BenchmarkCertifyEpisode(b *testing.B) {
 				_ = spec.CheckDUOpacity(h, spec.WithNodeLimit(2_000_000))
 			}
 		})
+	}
+}
+
+// --- Checkfarm: the parallel certification pipeline ------------------------
+
+// BenchmarkCheckfarmCertify measures a 30-episode certification of the
+// tl2 engine (deterministic interleaved episodes, so every jobs setting
+// does byte-identical work) sharded across 1, 2 and 4 workers. Episodes
+// are independent CPU-bound units, so on a machine with >= 4 cores the
+// jobs=4 case completes the same certification in under half the jobs=1
+// wall-clock time; on fewer cores the speedup tracks the core count.
+func BenchmarkCheckfarmCertify(b *testing.B) {
+	cfg := harness.CertConfig{
+		Workload: harness.Workload{
+			Engine:           "tl2",
+			Objects:          4,
+			Goroutines:       6,
+			TxnsPerGoroutine: 3,
+			OpsPerTxn:        5,
+			ReadFraction:     0.5,
+			Seed:             21,
+		},
+		Episodes:    30,
+		Interleaved: true,
+	}
+	criteria := []spec.Criterion{spec.DUOpacity, spec.FinalStateOpacity}
+	for _, jobs := range []int{1, 2, 4} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats, err := checkfarm.Certify(context.Background(), cfg, criteria, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Episodes+stats.Skipped != cfg.Episodes {
+					b.Fatalf("lost episodes: %d+%d != %d", stats.Episodes, stats.Skipped, cfg.Episodes)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckfarmCheckBatch measures batch history checking (the
+// ducheck -parallel path) across worker counts.
+func BenchmarkCheckfarmCheckBatch(b *testing.B) {
+	hs := make([]*history.History, 24)
+	for i := range hs {
+		hs[i] = gen.DUOpaque(gen.Config{Txns: 8, Objects: 3, OpsPerTxn: 3, Relax: 5, Seed: int64(40 + i)})
+	}
+	criteria := []spec.Criterion{spec.DUOpacity, spec.FinalStateOpacity}
+	for _, jobs := range []int{1, 4} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := checkfarm.CheckBatch(context.Background(), hs, criteria, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShrinkViolation measures greedy counterexample minimization on
+// planted deferred-update violations.
+func BenchmarkShrinkViolation(b *testing.B) {
+	var seeds []*history.History
+	for s := int64(1); len(seeds) < 4 && s < 64; s++ {
+		h := gen.DUOpaque(gen.Config{
+			Txns: 10, Objects: 3, OpsPerTxn: 3, UniqueWrites: true, Relax: 5, Seed: s,
+		})
+		m, ok := gen.MutateFutureRead(h, rand.New(rand.NewSource(s)))
+		if !ok {
+			continue
+		}
+		if v := spec.CheckDUOpacity(m); !v.OK && !v.Undecided {
+			seeds = append(seeds, m)
+		}
+	}
+	if len(seeds) == 0 {
+		b.Fatal("no violating seed histories")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := gen.ShrinkViolation(seeds[i%len(seeds)], spec.DUOpacity)
+		if m.Len() > seeds[i%len(seeds)].Len() {
+			b.Fatal("shrinking grew the history")
+		}
 	}
 }
 

@@ -1,22 +1,31 @@
-// Command ducheck checks a transactional history against the correctness
-// criteria of the paper. The history is read from a file (or stdin with
+// Command ducheck checks transactional histories against the correctness
+// criteria of the paper. Histories are read from files (or stdin with
 // "-") in the text format of internal/histio.
 //
 // Usage:
 //
-//	ducheck [-criteria du,opacity,...] [-witness] file
+//	ducheck [-criteria du,opacity,...] [-witness] file...
+//	ducheck -parallel [-jobs N] file...
 //
-// Exit status: 0 if every requested criterion accepts, 1 if any rejects,
-// 2 on input errors.
+// With several files (or -parallel), every file is checked against every
+// requested criterion; -parallel shards the batch across -jobs workers
+// (default GOMAXPROCS) via the certification farm, with results printed
+// in input order regardless of completion order.
+//
+// Exit status: 0 if every requested criterion accepts every history, 1 if
+// any rejects, 2 on input errors.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"duopacity/internal/checkfarm"
 	"duopacity/internal/histio"
 	"duopacity/internal/history"
 	"duopacity/internal/spec"
@@ -48,11 +57,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	witness := fs.Bool("witness", false, "print witness serializations")
 	explain := fs.Bool("explain", false, "print the per-read deferred-update analysis")
 	nodeLimit := fs.Int("node-limit", 0, "bound the search (0 = unlimited)")
+	parallel := fs.Bool("parallel", false, "check the files concurrently via the certification farm")
+	jobs := fs.Int("jobs", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	if fs.NArg() != 1 {
-		return 2, fmt.Errorf("usage: ducheck [flags] <file|->")
+	if fs.NArg() < 1 {
+		return 2, fmt.Errorf("usage: ducheck [flags] <file|->...")
 	}
 
 	var criteria []spec.Criterion
@@ -64,45 +75,80 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		criteria = append(criteria, c)
 	}
 
-	var src io.Reader
-	if fs.Arg(0) == "-" {
-		src = stdin
-	} else {
-		f, err := os.Open(fs.Arg(0))
+	paths := fs.Args()
+	// Buffer stdin once so "-" can appear several times in a batch
+	// without the later occurrences silently parsing a drained reader.
+	var stdinSrc []byte
+	for _, path := range paths {
+		if path == "-" {
+			b, err := io.ReadAll(stdin)
+			if err != nil {
+				return 2, err
+			}
+			stdinSrc = b
+			break
+		}
+	}
+	hs := make([]*history.History, len(paths))
+	for i, path := range paths {
+		h, err := parseFile(path, stdinSrc)
 		if err != nil {
 			return 2, err
 		}
-		defer f.Close()
-		src = f
+		hs[i] = h
 	}
-	h, err := histio.Parse(src)
+
+	// Sequential mode is the farm at one worker: one code path to keep
+	// verdicts and ordering identical.
+	seqJobs := 1
+	if *parallel {
+		seqJobs = *jobs
+	}
+	verdicts, err := checkfarm.CheckBatch(context.Background(), hs, criteria, seqJobs,
+		spec.WithNodeLimit(*nodeLimit))
 	if err != nil {
 		return 2, err
 	}
-	fmt.Fprintf(stdout, "history: %d events, %d transactions, %d objects, unique-writes=%v\n",
-		h.Len(), h.NumTxns(), len(h.Vars()), spec.UniqueWrites(h))
-	if *explain {
-		fmt.Fprintln(stdout, "reads:")
-		for _, ri := range spec.AnalyzeReads(h) {
-			fmt.Fprintf(stdout, "  %s\n", ri)
-		}
-	}
 
 	violations := 0
-	for _, c := range criteria {
-		v := spec.Check(h, c, spec.WithNodeLimit(*nodeLimit))
-		fmt.Fprintln(stdout, v)
-		if !v.OK {
-			violations++
+	for i, h := range hs {
+		if len(paths) > 1 {
+			fmt.Fprintf(stdout, "== %s ==\n", paths[i])
 		}
-		if *witness && v.OK && v.Serialization != nil {
-			printWitness(stdout, v.Serialization)
+		fmt.Fprintf(stdout, "history: %d events, %d transactions, %d objects, unique-writes=%v\n",
+			h.Len(), h.NumTxns(), len(h.Vars()), spec.UniqueWrites(h))
+		if *explain {
+			fmt.Fprintln(stdout, "reads:")
+			for _, ri := range spec.AnalyzeReads(h) {
+				fmt.Fprintf(stdout, "  %s\n", ri)
+			}
+		}
+		for _, v := range verdicts[i] {
+			fmt.Fprintln(stdout, v)
+			if !v.OK {
+				violations++
+			}
+			if *witness && v.OK && v.Serialization != nil {
+				printWitness(stdout, v.Serialization)
+			}
 		}
 	}
 	if violations > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+func parseFile(path string, stdinSrc []byte) (*history.History, error) {
+	if path == "-" {
+		return histio.Parse(bytes.NewReader(stdinSrc))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return histio.Parse(f)
 }
 
 func printWitness(w io.Writer, s *history.Seq) {

@@ -60,6 +60,45 @@ res tryc 1 A
 	}
 }
 
+func TestRunParallelBatch(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.hist")
+	if err := os.WriteFile(good, []byte("write 1 X 1\ncommit 1\nread 2 X 1\ncommit 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.hist")
+	if err := os.WriteFile(bad, []byte("read 1 X 99\ncommit 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run([]string{"-parallel", "-jobs", "4", "-criteria", "du", good, bad, good}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (one file violates)\n%s", code, out.String())
+	}
+	// Results come back in input order with per-file headers.
+	s := out.String()
+	iGood := strings.Index(s, "== "+good+" ==")
+	iBad := strings.Index(s, "== "+bad+" ==")
+	if iGood < 0 || iBad < 0 || iBad < iGood {
+		t.Errorf("batch output not in input order:\n%s", s)
+	}
+	if strings.Count(s, "du-opacity: OK") != 2 || strings.Count(s, "violated") != 1 {
+		t.Errorf("batch verdicts wrong:\n%s", s)
+	}
+	// Sequential multi-file mode agrees.
+	var seq strings.Builder
+	seqCode, err := run([]string{"-criteria", "du", good, bad, good}, nil, &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqCode != code || seq.String() != s {
+		t.Errorf("parallel and sequential batch output diverge:\n%s\nvs\n%s", s, seq.String())
+	}
+}
+
 func TestRunInputErrors(t *testing.T) {
 	if code, err := run([]string{"-criteria", "nope", "-"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
 		t.Error("unknown criterion should be an input error")

@@ -8,16 +8,26 @@
 //
 //	stmbench [-engines tl2,norec,...] [-objects 8] [-goroutines 4]
 //	         [-txns 2000] [-ops 4] [-read-frac 0.5] [-seed 1]
-//	         [-certify] [-episodes 20]
+//	         [-certify] [-episodes 20] [-jobs N]
+//	stmbench soak [-engines ...] [-rounds 6] [-seed 1] [-jobs N]
+//
+// The soak subcommand runs the differential certification soak of
+// internal/checkfarm: every engine against every implemented criterion
+// over a randomized workload grid (each shape once under real goroutines
+// and once under the deterministic interleaved scheduler), reporting
+// criteria divergences with greedily shrunk minimal counterexamples.
+// -jobs shards episodes/cells across workers (0 = GOMAXPROCS).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"duopacity/internal/checkfarm"
 	"duopacity/internal/harness"
 	"duopacity/internal/spec"
 	"duopacity/internal/stm/engines"
@@ -31,6 +41,9 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "soak" {
+		return runSoak(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("stmbench", flag.ContinueOnError)
 	engineList := fs.String("engines", strings.Join(engines.Names(), ","), "comma-separated engines")
 	objects := fs.Int("objects", 8, "number of t-objects")
@@ -42,6 +55,9 @@ func run(args []string, stdout io.Writer) error {
 	certify := fs.Bool("certify", false, "also certify recorded episodes")
 	episodes := fs.Int("episodes", 20, "episodes per engine when certifying")
 	sweep := fs.Bool("sweep", false, "sweep goroutines x read-fraction instead of a single run")
+	jobs := fs.Int("jobs", 1, "shard certification episodes or sweep cells across this many workers (0 = GOMAXPROCS; parallel sweep cells contend, keep 1 for publication-grade throughput)")
+	interleaved := fs.Bool("interleaved", false,
+		"certify deterministic interleaved episodes instead of real goroutines (reproducible on any machine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,9 +66,12 @@ func run(args []string, stdout io.Writer) error {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
+	if *interleaved && !*certify {
+		return fmt.Errorf("-interleaved only applies to certification; pass -certify")
+	}
 
 	if *sweep {
-		points, err := harness.Sweep(harness.SweepConfig{
+		points, err := checkfarm.Sweep(context.Background(), harness.SweepConfig{
 			Engines:       names,
 			Goroutines:    []int{1, 2, 4, 8},
 			ReadFractions: []float64{0.1, 0.5, 0.9},
@@ -62,7 +81,7 @@ func run(args []string, stdout io.Writer) error {
 				OpsPerTxn:        *ops,
 				Seed:             *seed,
 			},
-		})
+		}, *jobs)
 		if err != nil {
 			return err
 		}
@@ -107,9 +126,10 @@ func run(args []string, stdout io.Writer) error {
 				ReadFraction:     *readFrac,
 				Seed:             *seed,
 			},
-			Episodes: *episodes,
+			Episodes:    *episodes,
+			Interleaved: *interleaved,
 		}
-		stats, err := harness.Certify(cfg, criteria)
+		stats, err := checkfarm.Certify(context.Background(), cfg, criteria, *jobs)
 		if err != nil {
 			return err
 		}
@@ -121,5 +141,33 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
+	return nil
+}
+
+func runSoak(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stmbench soak", flag.ContinueOnError)
+	engineList := fs.String("engines", strings.Join(checkfarm.SoakEngines(), ","), "comma-separated engines")
+	rounds := fs.Int("rounds", 6, "workload grid rounds per engine")
+	seed := fs.Int64("seed", 1, "workload grid seed")
+	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
+	nodeLimit := fs.Int("node-limit", 0, "bound each exact check (0 = soak default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*engineList, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	cfg := checkfarm.SoakConfig{
+		Engines:   names,
+		Rounds:    *rounds,
+		Seed:      *seed,
+		NodeLimit: *nodeLimit,
+	}
+	res, err := checkfarm.Soak(context.Background(), cfg, *jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, checkfarm.FormatSoakReport(cfg, res))
 	return nil
 }

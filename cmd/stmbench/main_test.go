@@ -45,3 +45,33 @@ func TestRunUnknownEngine(t *testing.T) {
 		t.Fatal("unknown engine accepted")
 	}
 }
+
+func TestRunCertifyParallelJobs(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-engines", "gl", "-txns", "10", "-certify", "-episodes", "2", "-jobs", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "du-opacity") {
+		t.Errorf("certification table missing:\n%s", out.String())
+	}
+}
+
+func TestRunSoakSubcommand(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"soak", "-engines", "gl,ple", "-rounds", "1", "-seed", "11"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"differential soak", "gl", "ple", "du-opacity"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("soak report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSoakUnknownEngine(t *testing.T) {
+	if err := run([]string{"soak", "-engines", "bogus", "-rounds", "1"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown engine accepted by soak")
+	}
+}

@@ -1,0 +1,3 @@
+module duopacity
+
+go 1.21

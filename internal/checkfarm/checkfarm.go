@@ -1,0 +1,175 @@
+// Package checkfarm parallelizes the repository's certification pipeline:
+// it shards the episodes of harness.Certify, the cells of harness.Sweep
+// and batches of parsed histories across a bounded worker pool with
+// context cancellation, deterministic per-shard seeding and ordered result
+// aggregation, so parallel runs produce byte-identical results to the
+// sequential paths. On top of the pool, the differential soak mode
+// (Soak) runs every registered engine against every criterion over a
+// randomized workload grid, records divergences between criteria, and
+// shrinks each violating history to a minimal counterexample with
+// gen.Shrink.
+//
+// Sharding is over independent units of work — each episode runs on a
+// fresh engine, each batch entry is its own history — so the only shared
+// state is the result slot a shard owns exclusively. spec.Check is safe
+// for concurrent use (each call builds its own search state and memo over
+// an immutable history), which the race-enabled tests of this package and
+// package spec pin down.
+package checkfarm
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"duopacity/internal/harness"
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// resolveJobs clamps a worker count: 0 (or negative) means GOMAXPROCS,
+// and no more workers than shards are spawned.
+func resolveJobs(jobs, shards int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > shards {
+		jobs = shards
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// shard fans work(0..n-1) out over a pool of jobs workers. Shards are
+// claimed from an atomic counter, so completion order is arbitrary — the
+// caller must write results into per-shard slots. The first error (or a
+// context cancellation) stops the pool and is returned; in-flight shards
+// finish, unclaimed shards never start.
+func shard(ctx context.Context, n, jobs int, work func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	jobs = resolveJobs(jobs, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := work(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Certify is harness.Certify sharded over jobs workers: episodes are
+// distributed across the pool, each seeded purely from the base seed and
+// its episode index (exactly as the sequential path seeds them), and the
+// reports are folded in episode order, so the returned statistics are
+// byte-identical to harness.Certify for the same configuration whenever
+// the per-episode histories are — always under cfg.Interleaved, and for
+// any engine whose per-episode verdicts don't depend on scheduling luck.
+// jobs <= 0 uses GOMAXPROCS.
+func Certify(ctx context.Context, cfg harness.CertConfig, criteria []spec.Criterion, jobs int) (harness.CertStats, error) {
+	cfg = cfg.WithDefaults()
+	reports := make([]harness.EpisodeReport, cfg.Episodes)
+	err := shard(ctx, cfg.Episodes, jobs, func(ep int) error {
+		r, rerr := harness.CertifyEpisode(cfg, ep, criteria)
+		if rerr != nil {
+			return rerr
+		}
+		reports[ep] = r
+		return nil
+	})
+	stats := harness.NewCertStats(cfg.Workload.Engine)
+	if err != nil {
+		return stats, err
+	}
+	for _, r := range reports {
+		stats.AddEpisode(criteria, r)
+	}
+	return stats, nil
+}
+
+// Sweep is harness.Sweep sharded over jobs workers. Points come back in
+// the same (engine, goroutines, read-fraction) grid order the sequential
+// path produces. Concurrent cells contend for the CPUs, so throughput
+// numbers are only comparable within a single jobs setting; use jobs = 1
+// (or harness.Sweep) for publication-grade measurements and the parallel
+// mode for functional sweeps and CI smoke.
+func Sweep(ctx context.Context, cfg harness.SweepConfig, jobs int) ([]harness.SweepPoint, error) {
+	type cell struct {
+		engine string
+		g      int
+		rf     float64
+	}
+	var cells []cell
+	for _, eng := range cfg.Engines {
+		for _, g := range cfg.Goroutines {
+			for _, rf := range cfg.ReadFractions {
+				cells = append(cells, cell{eng, g, rf})
+			}
+		}
+	}
+	points := make([]harness.SweepPoint, len(cells))
+	err := shard(ctx, len(cells), jobs, func(i int) error {
+		c := cells[i]
+		w := cfg.Base
+		w.Engine = c.engine
+		w.Goroutines = c.g
+		w.ReadFraction = c.rf
+		stats, rerr := harness.Run(w)
+		if rerr != nil {
+			return rerr
+		}
+		points[i] = harness.SweepPoint{Engine: c.engine, Goroutines: c.g, ReadFraction: c.rf, Stats: stats}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// CheckBatch checks every history against every criterion across the
+// pool and returns the verdicts with results[i][j] corresponding to
+// (hs[i], criteria[j]). It backs ducheck's -parallel batch mode.
+func CheckBatch(ctx context.Context, hs []*history.History, criteria []spec.Criterion, jobs int, opts ...spec.Option) ([][]spec.Verdict, error) {
+	results := make([][]spec.Verdict, len(hs))
+	err := shard(ctx, len(hs), jobs, func(i int) error {
+		vs := make([]spec.Verdict, len(criteria))
+		for j, c := range criteria {
+			vs[j] = spec.Check(hs[i], c, opts...)
+		}
+		results[i] = vs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,362 @@
+package checkfarm
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"duopacity/internal/gen"
+	"duopacity/internal/harness"
+	"duopacity/internal/histio"
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// SoakEngines is the default engine set of the differential soak: every
+// registered engine family (the validating etl variant is covered by the
+// base etl knob and can be added explicitly).
+func SoakEngines() []string {
+	return []string{"gl", "ple", "norec", "tl2", "etl", "dstm"}
+}
+
+// SoakConfig parameterizes a differential soak run.
+type SoakConfig struct {
+	// Engines to exercise (default SoakEngines()).
+	Engines []string
+	// Criteria to check each recorded history against (default
+	// spec.AllCriteria()).
+	Criteria []spec.Criterion
+	// Rounds of the randomized workload grid (default 6). Every engine
+	// sees the same per-round workload shape, once under real concurrency
+	// and once under the deterministic interleaved scheduler, so the
+	// engines are compared on identical plans.
+	Rounds int
+	// Seed randomizes the workload grid; rounds derive their shapes and
+	// seeds purely from it.
+	Seed int64
+	// NodeLimit bounds each exact check and each shrinking re-check
+	// (default 300_000).
+	NodeLimit int
+	// MaxTxns skips histories too large for exact checking (default 40).
+	MaxTxns int
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if len(c.Engines) == 0 {
+		c.Engines = SoakEngines()
+	}
+	if len(c.Criteria) == 0 {
+		c.Criteria = spec.AllCriteria()
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 6
+	}
+	if c.NodeLimit <= 0 {
+		c.NodeLimit = 300_000
+	}
+	if c.MaxTxns <= 0 {
+		c.MaxTxns = 40
+	}
+	return c
+}
+
+// roundWorkload derives round r's workload shape deterministically from
+// the soak seed. The shapes stay small (exact checking is exponential in
+// the worst case) but contended: few objects, several threads.
+func (c SoakConfig) roundWorkload(r int) harness.Workload {
+	rng := rand.New(rand.NewSource(c.Seed*1_000_003 + int64(r)))
+	return harness.Workload{
+		Objects:          2 + rng.Intn(4),              // 2..5
+		Goroutines:       2 + rng.Intn(5),              // 2..6
+		TxnsPerGoroutine: 2 + rng.Intn(2),              // 2..3
+		OpsPerTxn:        2 + rng.Intn(5),              // 2..6
+		ReadFraction:     []float64{0.3, 0.5, 0.7}[rng.Intn(3)],
+		Seed:             c.Seed + int64(r)*7_919_919,
+	}
+}
+
+// SoakCell is one (engine, round, mode) observation of the soak grid.
+type SoakCell struct {
+	Engine string
+	Round  int
+	// Probe marks the deterministic interleaved execution of the round's
+	// plan; otherwise the cell ran under real goroutines.
+	Probe    bool
+	Workload harness.Workload
+	// Skipped is set when the recorded history exceeded MaxTxns.
+	Skipped  bool
+	Verdicts map[spec.Criterion]spec.Verdict
+	History  *history.History
+}
+
+// Divergence records a history on which the criteria disagree — or, when
+// Accepted is empty, a history every criterion rejects. Minimal is the
+// greedily shrunk counterexample that still violates Criterion (the
+// strongest rejecting criterion in the soak's criteria order).
+type Divergence struct {
+	Engine    string
+	Round     int
+	Probe     bool
+	Accepted  []spec.Criterion
+	Rejected  []spec.Criterion
+	Criterion spec.Criterion
+	Reason    string
+	History   *history.History
+	Minimal   *history.History
+}
+
+// SoakResult aggregates a differential soak run.
+type SoakResult struct {
+	Cells       []SoakCell
+	Divergences []Divergence
+	// Accepted/Rejected/Undecided count decided cells per engine and
+	// criterion (skipped cells excluded).
+	Accepted, Rejected, Undecided map[string]map[spec.Criterion]int
+}
+
+// MinimalCounterexample returns the smallest shrunk counterexample the
+// soak found for the engine under the criterion, or nil.
+func (r *SoakResult) MinimalCounterexample(engine string, c spec.Criterion) *history.History {
+	var best *history.History
+	for _, d := range r.Divergences {
+		if d.Engine != engine || d.Criterion != c || d.Minimal == nil {
+			continue
+		}
+		if best == nil || d.Minimal.Len() < best.Len() {
+			best = d.Minimal
+		}
+	}
+	return best
+}
+
+// Soak runs the differential soak: every engine under every criterion over
+// the randomized workload grid, cells sharded across jobs workers. Each
+// violating history is shrunk to a minimal counterexample before being
+// recorded as a divergence. jobs <= 0 uses GOMAXPROCS.
+func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	type task struct {
+		engine string
+		round  int
+		probe  bool
+	}
+	var tasks []task
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, e := range cfg.Engines {
+			tasks = append(tasks, task{engine: e, round: r, probe: false})
+			tasks = append(tasks, task{engine: e, round: r, probe: true})
+		}
+	}
+	cells := make([]SoakCell, len(tasks))
+	err := shard(ctx, len(tasks), jobs, func(i int) error {
+		t := tasks[i]
+		w := cfg.roundWorkload(t.round)
+		w.Engine = t.engine
+		cell := SoakCell{Engine: t.engine, Round: t.round, Probe: t.probe, Workload: w}
+		var (
+			h    *history.History
+			rerr error
+		)
+		if t.probe {
+			h, _, rerr = harness.RunInterleaved(w)
+		} else {
+			h, _, rerr = harness.RunRecorded(w)
+		}
+		if rerr != nil {
+			return fmt.Errorf("checkfarm: soak %s round %d: %w", t.engine, t.round, rerr)
+		}
+		cell.History = h
+		if h.NumTxns() > cfg.MaxTxns {
+			cell.Skipped = true
+			cells[i] = cell
+			return nil
+		}
+		cell.Verdicts = make(map[spec.Criterion]spec.Verdict, len(cfg.Criteria))
+		for _, c := range cfg.Criteria {
+			cell.Verdicts[c] = spec.Check(h, c, spec.WithNodeLimit(cfg.NodeLimit))
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SoakResult{
+		Cells:     cells,
+		Accepted:  make(map[string]map[spec.Criterion]int),
+		Rejected:  make(map[string]map[spec.Criterion]int),
+		Undecided: make(map[string]map[spec.Criterion]int),
+	}
+	for _, e := range cfg.Engines {
+		res.Accepted[e] = make(map[spec.Criterion]int)
+		res.Rejected[e] = make(map[spec.Criterion]int)
+		res.Undecided[e] = make(map[spec.Criterion]int)
+	}
+	// Divergence extraction and shrinking, also sharded: shrinking re-runs
+	// the checker O(events) times per counterexample.
+	divIdx := make([]int, 0, len(cells))
+	for i, cell := range cells {
+		if cell.Skipped {
+			continue
+		}
+		for _, c := range cfg.Criteria {
+			v := cell.Verdicts[c]
+			switch {
+			case v.Undecided:
+				res.Undecided[cell.Engine][c]++
+			case v.OK:
+				res.Accepted[cell.Engine][c]++
+			default:
+				res.Rejected[cell.Engine][c]++
+			}
+		}
+		if firstRejected(cfg.Criteria, cell.Verdicts) != 0 {
+			divIdx = append(divIdx, i)
+		}
+	}
+	divs := make([]Divergence, len(divIdx))
+	err = shard(ctx, len(divIdx), jobs, func(j int) error {
+		cell := cells[divIdx[j]]
+		target := firstRejected(cfg.Criteria, cell.Verdicts)
+		d := Divergence{
+			Engine:    cell.Engine,
+			Round:     cell.Round,
+			Probe:     cell.Probe,
+			Criterion: target,
+			History:   cell.History,
+		}
+		for _, c := range cfg.Criteria {
+			v := cell.Verdicts[c]
+			switch {
+			case v.Undecided:
+			case v.OK:
+				d.Accepted = append(d.Accepted, c)
+			default:
+				d.Rejected = append(d.Rejected, c)
+			}
+		}
+		// Shrink while preserving the cell's full differential signature:
+		// every originally-decided criterion must keep its verdict, so the
+		// minimal history demonstrates the same separation (not merely
+		// some violation of the target — a plain sourceless read would
+		// satisfy that and lose the divergence).
+		d.Minimal = gen.Shrink(cell.History, func(g *history.History) bool {
+			for _, c := range d.Accepted {
+				if v := spec.Check(g, c, spec.WithNodeLimit(cfg.NodeLimit)); !v.OK {
+					return false
+				}
+			}
+			for _, c := range d.Rejected {
+				if v := spec.Check(g, c, spec.WithNodeLimit(cfg.NodeLimit)); v.OK || v.Undecided {
+					return false
+				}
+			}
+			return true
+		})
+		d.Reason = spec.Check(d.Minimal, target, spec.WithNodeLimit(cfg.NodeLimit)).Reason
+		divs[j] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Divergences = divs
+	return res, nil
+}
+
+// firstRejected returns the first criterion (in order) with a decided
+// rejection, or 0 when every criterion accepts or is undecided.
+func firstRejected(criteria []spec.Criterion, verdicts map[spec.Criterion]spec.Verdict) spec.Criterion {
+	for _, c := range criteria {
+		if v := verdicts[c]; !v.OK && !v.Undecided {
+			return c
+		}
+	}
+	return 0
+}
+
+// FormatSoakReport renders the aggregate table and the shrunk
+// counterexamples: per engine and criterion, accepted/rejected(/undecided)
+// cell counts, then one minimal counterexample per (engine, criterion)
+// divergence class in histio text format.
+func FormatSoakReport(cfg SoakConfig, res *SoakResult) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential soak: %d engines x %d criteria, %d cells (%d divergent)\n",
+		len(cfg.Engines), len(cfg.Criteria), len(res.Cells), len(res.Divergences))
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "engine")
+	for _, c := range cfg.Criteria {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, e := range cfg.Engines {
+		fmt.Fprint(tw, e)
+		for _, c := range cfg.Criteria {
+			cellTxt := fmt.Sprintf("%d/%d", res.Accepted[e][c], res.Rejected[e][c])
+			if u := res.Undecided[e][c]; u > 0 {
+				cellTxt += fmt.Sprintf("(%d?)", u)
+			}
+			fmt.Fprintf(tw, "\t%s", cellTxt)
+		}
+		fmt.Fprintln(tw)
+	}
+	_ = tw.Flush()
+	b.WriteString("cells are accepted/rejected counts (undecided in parentheses)\n")
+
+	// One minimal counterexample per (engine, criterion), smallest first.
+	type classKey struct {
+		engine string
+		c      spec.Criterion
+	}
+	best := make(map[classKey]Divergence)
+	for _, d := range res.Divergences {
+		k := classKey{d.Engine, d.Criterion}
+		cur, ok := best[k]
+		// Prefer a true divergence (some criterion still accepts) over an
+		// all-reject violation; among equals, the smaller counterexample.
+		switch {
+		case !ok:
+		case len(d.Accepted) > 0 && len(cur.Accepted) == 0:
+		case len(d.Accepted) > 0 == (len(cur.Accepted) > 0) && d.Minimal.Len() < cur.Minimal.Len():
+		default:
+			continue
+		}
+		best[k] = d
+	}
+	keys := make([]classKey, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].engine != keys[j].engine {
+			return keys[i].engine < keys[j].engine
+		}
+		return keys[i].c < keys[j].c
+	})
+	for _, k := range keys {
+		d := best[k]
+		mode := "concurrent"
+		if d.Probe {
+			mode = "interleaved probe"
+		}
+		fmt.Fprintf(&b, "\n%s violates %s (round %d, %s; shrunk %d -> %d events)\n",
+			d.Engine, d.Criterion, d.Round, mode, d.History.Len(), d.Minimal.Len())
+		fmt.Fprintf(&b, "  reason: %s\n", d.Reason)
+		if len(d.Accepted) > 0 {
+			names := make([]string, len(d.Accepted))
+			for i, c := range d.Accepted {
+				names[i] = c.String()
+			}
+			fmt.Fprintf(&b, "  still accepted by: %s\n", strings.Join(names, ", "))
+		}
+		for _, line := range strings.Split(strings.TrimRight(histio.FormatString(d.Minimal), "\n"), "\n") {
+			fmt.Fprintf(&b, "  | %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// Shrink greedily minimizes h while interesting(h) stays true, and returns
+// the smallest history found. Two reduction passes alternate to a fixpoint:
+// deleting a whole transaction (all of its events), and deleting a single
+// t-operation (its invocation/response event pair, or the lone invocation
+// of a pending operation — including a transaction's ending tryC/tryA,
+// which turns it into a complete-but-not-t-complete transaction). Both
+// moves preserve well-formedness, every intermediate candidate is
+// re-checked with interesting, and every accepted candidate has strictly
+// fewer events, so the result never grows and Shrink terminates.
+//
+// interesting must be true for h itself; otherwise h is returned unchanged.
+// The predicate must be deterministic: Shrink calls it O(passes * (txns +
+// ops)) times.
+func Shrink(h *history.History, interesting func(*history.History) bool) *history.History {
+	if !interesting(h) {
+		return h
+	}
+	for changed := true; changed; {
+		changed = false
+		// Pass 1: drop whole transactions, re-fetching the id list after
+		// every successful deletion.
+	txns:
+		for {
+			for _, k := range h.Txns() {
+				if cand := withoutTxn(h, k); cand != nil && interesting(cand) {
+					h = cand
+					changed = true
+					continue txns
+				}
+			}
+			break
+		}
+		// Pass 2: drop single operations.
+	ops:
+		for {
+			for _, k := range h.Txns() {
+				for j := range h.Txn(k).Ops {
+					if cand := withoutOp(h, k, j); cand != nil && interesting(cand) {
+						h = cand
+						changed = true
+						continue ops
+					}
+				}
+			}
+			break
+		}
+	}
+	return h
+}
+
+// ShrinkViolation minimizes h while it keeps violating criterion c — i.e.
+// while spec.Check rejects it outright (undecided verdicts do not count as
+// violations, so a shrink can never launder a decided violation into an
+// undecided one). The options are forwarded to every re-check; pass a
+// node limit to bound the total shrinking work.
+func ShrinkViolation(h *history.History, c spec.Criterion, opts ...spec.Option) *history.History {
+	return Shrink(h, func(g *history.History) bool {
+		v := spec.Check(g, c, opts...)
+		return !v.OK && !v.Undecided
+	})
+}
+
+// withoutTxn returns h with every event of transaction k removed, or nil
+// when the deletion is impossible (unknown transaction or a malformed
+// remainder, which cannot happen for well-formed h but is guarded anyway).
+func withoutTxn(h *history.History, k history.TxnID) *history.History {
+	evs := h.Events()
+	out := evs[:0]
+	removed := false
+	for _, e := range evs {
+		if e.Txn == k {
+			removed = true
+			continue
+		}
+		out = append(out, e)
+	}
+	if !removed {
+		return nil
+	}
+	g, err := history.FromEvents(out)
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+// withoutOp returns h with the j-th operation of transaction k removed, or
+// nil when the removal leaves a malformed history.
+func withoutOp(h *history.History, k history.TxnID, j int) *history.History {
+	t := h.Txn(k)
+	if t == nil || j >= len(t.Ops) {
+		return nil
+	}
+	op := t.Ops[j]
+	evs := h.Events()
+	out := make([]history.Event, 0, len(evs)-1)
+	for i, e := range evs {
+		if i == op.InvIndex || (!op.Pending && i == op.ResIndex) {
+			continue
+		}
+		out = append(out, e)
+	}
+	g, err := history.FromEvents(out)
+	if err != nil {
+		return nil
+	}
+	return g
+}

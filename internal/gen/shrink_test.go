@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"duopacity/internal/histio"
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// plantViolation builds a du-opaque unique-writes history from the seed
+// and plants a deferred-update violation with MutateFutureRead (falling
+// back to a sourceless read when the generated history offers no future
+// read). Returns nil when neither mutation applies.
+func plantViolation(seed int64) *history.History {
+	h := DUOpaque(Config{
+		Txns: 8, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5,
+		UniqueWrites: true, PAbort: 0.15, PCommitPending: 0.1, Relax: 5, Seed: seed,
+	})
+	rng := rand.New(rand.NewSource(seed))
+	if m, ok := MutateFutureRead(h, rng); ok {
+		return m
+	}
+	if m, ok := MutateSourcelessRead(h, rng); ok {
+		return m
+	}
+	return nil
+}
+
+func TestShrinkViolationPreservesAndNeverGrows(t *testing.T) {
+	shrunk := 0
+	for seed := int64(1); seed <= 40; seed++ {
+		h := plantViolation(seed)
+		if h == nil {
+			continue
+		}
+		v := spec.CheckDUOpacity(h)
+		if v.OK || v.Undecided {
+			continue // mutation landed on an undetectable spot
+		}
+		m := ShrinkViolation(h, spec.DUOpacity)
+		if m.Len() > h.Len() {
+			t.Fatalf("seed %d: shrinking grew the history: %d -> %d events", seed, h.Len(), m.Len())
+		}
+		mv := spec.CheckDUOpacity(m)
+		if mv.OK || mv.Undecided {
+			t.Fatalf("seed %d: shrunk history no longer violates du-opacity:\n%s", seed, m)
+		}
+		if m.Len() < h.Len() {
+			shrunk++
+		}
+		// Minimality: no single further deletion may preserve the
+		// violation (that is exactly Shrink's fixpoint condition).
+		for _, k := range m.Txns() {
+			if cand := withoutTxn(m, k); cand != nil {
+				if cv := spec.CheckDUOpacity(cand); !cv.OK && !cv.Undecided {
+					t.Fatalf("seed %d: dropping T%d still violates; shrink not at fixpoint", seed, k)
+				}
+			}
+		}
+	}
+	if shrunk == 0 {
+		t.Fatal("no seed produced a strictly shrinkable violation; the test exercises nothing")
+	}
+}
+
+func TestShrinkLeavesNonInterestingUntouched(t *testing.T) {
+	h := DUOpaque(Config{Txns: 4, Seed: 3})
+	if got := Shrink(h, func(*history.History) bool { return false }); got != h {
+		t.Fatal("Shrink must return h unchanged when interesting(h) is false")
+	}
+}
+
+func TestShrinkToKnownMinimum(t *testing.T) {
+	// A planted sourceless read shrinks to just the reading transaction —
+	// and further, to just the read and the ending, since every other
+	// transaction and operation is irrelevant to the violation.
+	b := history.NewBuilder()
+	b.Write(1, "X", 1).Commit(1)
+	b.Write(2, "Y", 2).Commit(2)
+	b.Read(3, "X", 99).Commit(3) // 99 is written nowhere
+	b.Read(4, "Y", 2).Commit(4)
+	h := b.History()
+	m := ShrinkViolation(h, spec.DUOpacity)
+	if got, want := m.NumTxns(), 1; got != want {
+		t.Fatalf("minimal counterexample has %d transactions, want %d:\n%s", got, want, m)
+	}
+	if v := spec.CheckDUOpacity(m); v.OK {
+		t.Fatal("minimal counterexample no longer violates")
+	}
+}
+
+// FuzzShrink drives the shrinker with fuzz-mutated histio inputs: any
+// parseable history that decidedly violates du-opacity must shrink to a
+// history that still violates it and never grew. This extends the
+// histio fuzzing style to the shrinker's two invariants.
+func FuzzShrink(f *testing.F) {
+	for seed := int64(1); seed <= 5; seed++ {
+		if h := plantViolation(seed); h != nil {
+			f.Add(histio.FormatString(h))
+		}
+	}
+	f.Add("write 1 X 1\ncommit 1\nread 2 X 5\ncommit 2\n")
+	f.Add("inv write 1 X 1\ninv read 2 X\nres read 2 X 1\ncommit 2\nres write 1 X 1 ok\ncommit 1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := histio.ParseString(src)
+		if err != nil {
+			return
+		}
+		if h.NumTxns() > 12 || h.Len() > 120 {
+			return // keep the exact checker fast under fuzzing
+		}
+		const limit = 200_000
+		v := spec.CheckDUOpacity(h, spec.WithNodeLimit(limit))
+		if v.OK || v.Undecided {
+			return
+		}
+		m := ShrinkViolation(h, spec.DUOpacity, spec.WithNodeLimit(limit))
+		if m.Len() > h.Len() {
+			t.Fatalf("shrinking grew the history: %d -> %d events\nin:\n%s", h.Len(), m.Len(), src)
+		}
+		mv := spec.CheckDUOpacity(m, spec.WithNodeLimit(limit))
+		if mv.OK || mv.Undecided {
+			t.Fatalf("shrunk history no longer violates du-opacity\nin:\n%s\nout:\n%s", src, histio.FormatString(m))
+		}
+	})
+}

@@ -246,7 +246,32 @@ type CertConfig struct {
 	// MaxTxns skips episodes whose recorded history exceeds this many
 	// transactions (default 56, under the checker's 64-transaction cap).
 	MaxTxns int
+	// Interleaved runs each episode under the deterministic stepwise
+	// scheduler (RunInterleaved) instead of real goroutines, making
+	// certification reproducible bit-for-bit across runs and machines —
+	// including single-CPU machines where real goroutines rarely
+	// interleave mid-transaction.
+	Interleaved bool
 }
+
+// WithDefaults fills the zero fields of the configuration with the
+// defaults Certify applies, so that sharded certification (package
+// checkfarm) resolves episodes identically to the sequential path.
+func (cfg CertConfig) WithDefaults() CertConfig {
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 20
+	}
+	if cfg.NodeLimit <= 0 {
+		cfg.NodeLimit = 2_000_000
+	}
+	if cfg.MaxTxns <= 0 {
+		cfg.MaxTxns = 56
+	}
+	return cfg
+}
+
+// episodeSeedStride separates the per-episode seeds of one certification.
+const episodeSeedStride = 104729
 
 // CertStats aggregates certification outcomes per criterion.
 type CertStats struct {
@@ -260,51 +285,96 @@ type CertStats struct {
 	FirstReason map[spec.Criterion]string
 }
 
-// Certify runs cfg.Episodes recorded episodes and checks each against the
-// given criteria.
-func Certify(cfg CertConfig, criteria []spec.Criterion) (CertStats, error) {
-	if cfg.Episodes == 0 {
-		cfg.Episodes = 20
-	}
-	if cfg.NodeLimit == 0 {
-		cfg.NodeLimit = 2_000_000
-	}
-	if cfg.MaxTxns == 0 {
-		cfg.MaxTxns = 56
-	}
-	stats := CertStats{
-		Engine:      cfg.Workload.Engine,
+// NewCertStats returns empty statistics for the given engine, ready for
+// AddEpisode.
+func NewCertStats(engine string) CertStats {
+	return CertStats{
+		Engine:      engine,
 		Accepted:    make(map[spec.Criterion]int),
 		Rejected:    make(map[spec.Criterion]int),
 		Undecided:   make(map[spec.Criterion]int),
 		FirstReason: make(map[spec.Criterion]string),
 	}
+}
+
+// EpisodeReport is the outcome of a single certification episode.
+type EpisodeReport struct {
+	// Skipped is set when the recorded history exceeded cfg.MaxTxns and
+	// was not checked.
+	Skipped bool
+	// Verdicts holds one verdict per requested criterion (nil when
+	// Skipped).
+	Verdicts map[spec.Criterion]spec.Verdict
+	// History is the recorded episode (also set when Skipped).
+	History *history.History
+}
+
+// CertifyEpisode runs episode ep of the certification described by cfg and
+// checks it against the criteria. Episodes are independent: each runs on a
+// fresh engine with a seed derived only from cfg.Seed and ep, so they can
+// be evaluated in any order (or concurrently) and folded with AddEpisode.
+// Call cfg.WithDefaults first when bypassing Certify.
+func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeReport, error) {
+	w := cfg.Workload
+	w.Seed = cfg.Workload.Seed + int64(ep)*episodeSeedStride
+	var (
+		h   *history.History
+		err error
+	)
+	if cfg.Interleaved {
+		h, _, err = RunInterleaved(w)
+	} else {
+		h, _, err = RunRecorded(w)
+	}
+	if err != nil {
+		return EpisodeReport{}, err
+	}
+	if h.NumTxns() > cfg.MaxTxns {
+		return EpisodeReport{Skipped: true, History: h}, nil
+	}
+	r := EpisodeReport{Verdicts: make(map[spec.Criterion]spec.Verdict, len(criteria)), History: h}
+	for _, c := range criteria {
+		r.Verdicts[c] = spec.Check(h, c, spec.WithNodeLimit(cfg.NodeLimit))
+	}
+	return r, nil
+}
+
+// AddEpisode folds one episode's outcome into the statistics. Folding
+// reports in episode order reproduces the sequential Certify aggregation
+// exactly (including FirstReason).
+func (s *CertStats) AddEpisode(criteria []spec.Criterion, r EpisodeReport) {
+	if r.Skipped {
+		s.Skipped++
+		return
+	}
+	s.Episodes++
+	for _, c := range criteria {
+		v := r.Verdicts[c]
+		switch {
+		case v.Undecided:
+			s.Undecided[c]++
+		case v.OK:
+			s.Accepted[c]++
+		default:
+			s.Rejected[c]++
+			if _, ok := s.FirstReason[c]; !ok {
+				s.FirstReason[c] = v.Reason
+			}
+		}
+	}
+}
+
+// Certify runs cfg.Episodes recorded episodes and checks each against the
+// given criteria.
+func Certify(cfg CertConfig, criteria []spec.Criterion) (CertStats, error) {
+	cfg = cfg.WithDefaults()
+	stats := NewCertStats(cfg.Workload.Engine)
 	for ep := 0; ep < cfg.Episodes; ep++ {
-		w := cfg.Workload
-		w.Seed = cfg.Workload.Seed + int64(ep)*104729
-		h, _, err := RunRecorded(w)
+		r, err := CertifyEpisode(cfg, ep, criteria)
 		if err != nil {
 			return stats, err
 		}
-		if h.NumTxns() > cfg.MaxTxns {
-			stats.Skipped++
-			continue
-		}
-		stats.Episodes++
-		for _, c := range criteria {
-			v := spec.Check(h, c, spec.WithNodeLimit(cfg.NodeLimit))
-			switch {
-			case v.Undecided:
-				stats.Undecided[c]++
-			case v.OK:
-				stats.Accepted[c]++
-			default:
-				stats.Rejected[c]++
-				if _, ok := stats.FirstReason[c]; !ok {
-					stats.FirstReason[c] = v.Reason
-				}
-			}
-		}
+		stats.AddEpisode(criteria, r)
 	}
 	return stats, nil
 }

@@ -1,9 +1,13 @@
 package harness
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"duopacity/internal/histio"
 	"duopacity/internal/spec"
 	"duopacity/internal/stm/engines"
 )
@@ -99,11 +103,13 @@ func TestCertifyDeferredUpdateEngines(t *testing.T) {
 }
 
 // TestCertifyPLERejects is experiment S2: the pessimistic in-place engine
-// produces deferred-update violations under contention.
+// produces deferred-update violations under contention. The episodes run
+// under the deterministic interleaved scheduler: real goroutines only
+// expose the read-an-uncommitted-write window under lucky preemption
+// (essentially never on a single-CPU machine), whereas the stepwise
+// schedule drives straight through it, so every one of these 30 episodes
+// rejects on every machine.
 func TestCertifyPLERejects(t *testing.T) {
-	// Empirically, this shape rejects well over half of the episodes; the
-	// probability that 30 episodes all pass is negligible. The recorder
-	// package additionally pins the violation deterministically.
 	cfg := CertConfig{Workload: Workload{
 		Engine:           "ple",
 		Objects:          4,
@@ -112,16 +118,113 @@ func TestCertifyPLERejects(t *testing.T) {
 		OpsPerTxn:        8,
 		ReadFraction:     0.5,
 		Seed:             4,
-	}, Episodes: 30}
+	}, Episodes: 30, Interleaved: true}
 	stats, err := Certify(cfg, []spec.Criterion{spec.DUOpacity})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Rejected[spec.DUOpacity] == 0 {
-		t.Fatal("pessimistic in-place engine produced no du-opacity violation in 30 contended episodes")
+		t.Fatal("pessimistic in-place engine produced no du-opacity violation in 30 interleaved episodes")
 	}
 	if stats.FirstReason[spec.DUOpacity] == "" {
 		t.Error("missing rejection reason")
+	}
+}
+
+// pleGoldenWorkload is the shape pinned by testdata/ple_violation.hist.
+func pleGoldenWorkload() Workload {
+	return Workload{
+		Engine:           "ple",
+		Objects:          3,
+		Goroutines:       4,
+		TxnsPerGoroutine: 2,
+		OpsPerTxn:        4,
+		ReadFraction:     0.5,
+		Seed:             8,
+	}
+}
+
+// TestCertifyPLERejectsGolden pins one violating episode as a golden
+// history: the interleaved run must reproduce testdata/ple_violation.hist
+// byte-for-byte, and the pinned history must stay a du-opacity violation
+// (while remaining final-state opaque: ple's single writer always
+// commits, so the violation is precisely the deferred-update condition).
+func TestCertifyPLERejectsGolden(t *testing.T) {
+	h, _, err := RunInterleaved(pleGoldenWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", "ple_violation.hist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := histio.Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden history does not parse: %v", err)
+	}
+	if got, want := histio.FormatString(h), histio.FormatString(golden); got != want {
+		t.Errorf("interleaved ple episode diverged from the golden history:\ngot:\n%swant:\n%s", got, want)
+	}
+	v := spec.CheckDUOpacity(golden)
+	if v.OK || v.Undecided {
+		t.Fatalf("golden history must violate du-opacity: %s", v)
+	}
+	if fs := spec.CheckFinalStateOpacity(golden); !fs.OK {
+		t.Errorf("golden history should remain final-state opaque: %s", fs.Reason)
+	}
+}
+
+// TestRunInterleavedDeterministic pins the scheduler's core contract: the
+// recorded history is a pure function of the workload.
+func TestRunInterleavedDeterministic(t *testing.T) {
+	for _, name := range engines.Names() {
+		w := smallWorkload(name, 5)
+		a, sa, err := RunInterleaved(w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, sb, err := RunInterleaved(w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if histio.FormatString(a) != histio.FormatString(b) {
+			t.Errorf("%s: two interleaved runs of the same workload diverged", name)
+		}
+		if sa != sb {
+			t.Errorf("%s: stats diverged: %+v vs %+v", name, sa, sb)
+		}
+		if sa.Commits+sa.Failed != int64(w.Goroutines*w.TxnsPerGoroutine) {
+			t.Errorf("%s: commits+failed = %d, want %d", name, sa.Commits+sa.Failed, w.Goroutines*w.TxnsPerGoroutine)
+		}
+		if !a.Complete() {
+			t.Errorf("%s: interleaved history has pending operations", name)
+		}
+	}
+}
+
+// TestRunInterleavedDeferredUpdateEnginesClean: under the stepwise
+// scheduler the deferred-update engines still certify (the scheduler can
+// only produce interleavings the real engines allow).
+func TestRunInterleavedDeferredUpdateEnginesClean(t *testing.T) {
+	for _, name := range []string{"tl2", "norec", "gl", "dstm"} {
+		h, _, err := RunInterleaved(smallWorkload(name, 6))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v := spec.CheckDUOpacity(h, spec.WithNodeLimit(2_000_000))
+		if v.Undecided {
+			t.Logf("%s: undecided after %d nodes", name, v.Nodes)
+			continue
+		}
+		if !v.OK {
+			t.Errorf("%s: interleaved history not du-opaque: %s\n%s", name, v.Reason, h)
+		}
+	}
+}
+
+func TestRunInterleavedUnknownEngine(t *testing.T) {
+	if _, _, err := RunInterleaved(Workload{Engine: "bogus"}); err == nil {
+		t.Fatal("unknown engine accepted by RunInterleaved")
 	}
 }
 

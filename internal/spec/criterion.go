@@ -135,6 +135,11 @@ func buildOptions(opts []Option) options {
 }
 
 // Check dispatches to the checker for the given criterion.
+//
+// Check is safe for concurrent use, including on the same History value:
+// histories are immutable once built, and every call allocates its own
+// search engine with a per-call memo table. The certification farm
+// (internal/checkfarm) relies on this to run checks from many goroutines.
 func Check(h *history.History, c Criterion, opts ...Option) Verdict {
 	switch c {
 	case DUOpacity:

@@ -1,0 +1,75 @@
+package spec
+
+import (
+	"sync"
+	"testing"
+
+	"duopacity/internal/history"
+)
+
+// TestCheckConcurrent pins the contract package checkfarm builds on:
+// Check is safe to call from many goroutines, including on the SAME
+// history value — every call builds its own search engine and per-call
+// memo over the immutable history, and histories analyze eagerly at
+// construction. Run under -race this is the goroutine-safety proof.
+func TestCheckConcurrent(t *testing.T) {
+	shared := func() *history.History {
+		b := history.NewBuilder()
+		b.InvWrite(1, "X", 1)
+		b.Read(2, "X", 0).Commit(2)
+		b.ResWrite(1, "X", 1)
+		b.Commit(1)
+		b.Read(3, "X", 1)
+		b.Write(3, "Y", 2).Commit(3)
+		b.Read(4, "Y", 2).Commit(4)
+		return b.History()
+	}()
+	criteria := AllCriteria()
+
+	var wg sync.WaitGroup
+	results := make([][]Verdict, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vs := make([]Verdict, len(criteria))
+			for i, c := range criteria {
+				vs[i] = Check(shared, c, WithNodeLimit(1_000_000))
+			}
+			results[g] = vs
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < 8; g++ {
+		for i, c := range criteria {
+			if results[g][i].OK != results[0][i].OK || results[g][i].Undecided != results[0][i].Undecided {
+				t.Errorf("goroutine %d: %s verdict diverged: %v vs %v", g, c, results[g][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestCheckConcurrentDistinctHistories exercises concurrent checks over a
+// mix of distinct histories, mimicking the farm's sharding pattern.
+func TestCheckConcurrentDistinctHistories(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b := history.NewBuilder()
+			for k := history.TxnID(1); k <= history.TxnID(3+g%3); k++ {
+				b.Write(k, "X", history.Value(10*int(k)+g)).Commit(k)
+				b.Read(k+10, "X", history.Value(10*int(k)+g)).Commit(k + 10)
+			}
+			h := b.History()
+			for _, c := range AllCriteria() {
+				if v := Check(h, c, WithNodeLimit(1_000_000)); !v.OK && !v.Undecided {
+					t.Errorf("goroutine %d: %s rejected a serial legal history: %s", g, c, v.Reason)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

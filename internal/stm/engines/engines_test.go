@@ -1,0 +1,69 @@
+package engines
+
+import (
+	"strings"
+	"testing"
+
+	"duopacity/internal/stm"
+)
+
+// TestRegistryRoundTrip: every registered name constructs an engine whose
+// self-reported name matches the registry key, over the requested number
+// of objects.
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		e, err := New(name, 7)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, e.Name())
+		}
+		if e.Objects() != 7 {
+			t.Errorf("%s: Objects() = %d, want 7", name, e.Objects())
+		}
+		// A fresh engine must run a trivial transaction.
+		if err := stm.Atomically(e, func(tx stm.Txn) error {
+			v, err := tx.Read(0)
+			if err != nil {
+				return err
+			}
+			return tx.Write(1, v+1)
+		}); err != nil {
+			t.Errorf("%s: trivial transaction: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	_, err := New("bogus", 4)
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the unknown engine: %v", err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list registered engine %q: %v", name, err)
+		}
+	}
+}
+
+func TestDeferredUpdateClassification(t *testing.T) {
+	// The paper's classification: deferred-update engines buffer writes
+	// until tryC (gl trivially, holding the lock for the whole
+	// transaction); the encounter-time engines write in place before tryC.
+	want := map[string]bool{
+		"tl2": true, "norec": true, "dstm": true, "gl": true,
+		"etl": false, "etl+v": false, "ple": false,
+	}
+	for _, name := range Names() {
+		if got := DeferredUpdate(name); got != want[name] {
+			t.Errorf("DeferredUpdate(%q) = %v, want %v", name, got, want[name])
+		}
+	}
+	if DeferredUpdate("bogus") {
+		t.Error("unknown engines must not be classified deferred-update")
+	}
+}
