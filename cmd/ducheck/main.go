@@ -5,12 +5,15 @@
 // Usage:
 //
 //	ducheck [-criteria du,opacity,...] [-witness] file...
-//	ducheck -parallel [-jobs N] file...
+//	ducheck -parallel [-jobs N] [-portfolio N] file...
 //
 // With several files (or -parallel), every file is checked against every
 // requested criterion; -parallel shards the batch across -jobs workers
 // (default GOMAXPROCS) via the certification farm, with results printed
-// in input order regardless of completion order.
+// in input order regardless of completion order. -portfolio parallelizes
+// inside a single check instead, fanning the top-level branches of the
+// serialization search across workers — the right knob when one large
+// history dominates.
 //
 // Exit status: 0 if every requested criterion accepts every history, 1 if
 // any rejects, 2 on input errors.
@@ -59,6 +62,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	nodeLimit := fs.Int("node-limit", 0, "bound the search (0 = unlimited)")
 	parallel := fs.Bool("parallel", false, "check the files concurrently via the certification farm")
 	jobs := fs.Int("jobs", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	portfolio := fs.Int("portfolio", 0,
+		"fan each check's top-level search branches across this many workers (spec.WithParallelism; useful for one hard history, combine with -parallel for many)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -104,8 +109,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	if *parallel {
 		seqJobs = *jobs
 	}
-	verdicts, err := checkfarm.CheckBatch(context.Background(), hs, criteria, seqJobs,
-		spec.WithNodeLimit(*nodeLimit))
+	opts := []spec.Option{spec.WithNodeLimit(*nodeLimit)}
+	if *portfolio > 1 {
+		opts = append(opts, spec.WithParallelism(*portfolio))
+	}
+	verdicts, err := checkfarm.CheckBatch(context.Background(), hs, criteria, seqJobs, opts...)
 	if err != nil {
 		return 2, err
 	}

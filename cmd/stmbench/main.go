@@ -8,8 +8,8 @@
 //
 //	stmbench [-engines tl2,norec,...] [-objects 8] [-goroutines 4]
 //	         [-txns 2000] [-ops 4] [-read-frac 0.5] [-seed 1]
-//	         [-certify] [-episodes 20] [-jobs N]
-//	stmbench soak [-engines ...] [-rounds 6] [-seed 1] [-jobs N]
+//	         [-certify] [-episodes 20] [-jobs N] [-portfolio N]
+//	stmbench soak [-engines ...] [-rounds 6] [-seed 1] [-jobs N] [-portfolio N]
 //
 // The soak subcommand runs the differential certification soak of
 // internal/checkfarm: every engine against every implemented criterion
@@ -58,6 +58,8 @@ func run(args []string, stdout io.Writer) error {
 	jobs := fs.Int("jobs", 1, "shard certification episodes or sweep cells across this many workers (0 = GOMAXPROCS; parallel sweep cells contend, keep 1 for publication-grade throughput)")
 	interleaved := fs.Bool("interleaved", false,
 		"certify deterministic interleaved episodes instead of real goroutines (reproducible on any machine)")
+	portfolio := fs.Int("portfolio", 0,
+		"fan each exact check's top-level search branches across this many workers (parallel portfolio search)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +130,7 @@ func run(args []string, stdout io.Writer) error {
 			},
 			Episodes:    *episodes,
 			Interleaved: *interleaved,
+			Portfolio:   *portfolio,
 		}
 		stats, err := checkfarm.Certify(context.Background(), cfg, criteria, *jobs)
 		if err != nil {
@@ -151,6 +154,8 @@ func runSoak(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload grid seed")
 	jobs := fs.Int("jobs", 0, "worker count (0 = GOMAXPROCS)")
 	nodeLimit := fs.Int("node-limit", 0, "bound each exact check (0 = soak default)")
+	portfolio := fs.Int("portfolio", 0,
+		"fan each exact check's top-level search branches across this many workers (parallel portfolio search)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,6 +168,7 @@ func runSoak(args []string, stdout io.Writer) error {
 		Rounds:    *rounds,
 		Seed:      *seed,
 		NodeLimit: *nodeLimit,
+		Portfolio: *portfolio,
 	}
 	res, err := checkfarm.Soak(context.Background(), cfg, *jobs)
 	if err != nil {

@@ -86,31 +86,140 @@ func shard(ctx context.Context, n, jobs int, work func(i int) error) error {
 	return ctx.Err()
 }
 
+// CertifyStream runs the certification of cfg sharded over jobs workers
+// and delivers every episode report strictly in episode order through
+// emit, without buffering the whole run: a bounded reorder window holds
+// back workers that run too far ahead of the stream, so memory stays
+// O(jobs) for arbitrarily large certifications (ROADMAP item: stream
+// episode results instead of buffering []EpisodeReport).
+//
+// emit is called from worker goroutines but never concurrently, and the
+// calls arrive in episode order 0, 1, 2, ...; an error from emit cancels
+// the remaining episodes and is returned. jobs <= 0 uses GOMAXPROCS.
+func CertifyStream(ctx context.Context, cfg harness.CertConfig, criteria []spec.Criterion, jobs int, emit func(ep int, r harness.EpisodeReport) error) error {
+	cfg = cfg.WithDefaults()
+	return streamOrdered(ctx, cfg.Episodes, jobs, func(ep int) (harness.EpisodeReport, error) {
+		return harness.CertifyEpisode(cfg, ep, criteria)
+	}, emit)
+}
+
+// streamOrdered fans run(0..n-1) across jobs workers and delivers the
+// results in index order through emit, holding back workers that get more
+// than a bounded window ahead of the stream. Any error — from run, emit
+// or the context — wakes every window-blocked worker before returning.
+func streamOrdered(ctx context.Context, n, jobs int, run func(ep int) (harness.EpisodeReport, error), emit func(ep int, r harness.EpisodeReport) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	jobs = resolveJobs(jobs, n)
+	window := 4 * jobs
+	if window < 16 {
+		window = 16
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		next     int // next episode to emit
+		pending  = make(map[int]harness.EpisodeReport, window)
+		firstErr error
+		stopping bool
+	)
+	// Record the first failure and wake every window-blocked worker. The
+	// watcher below funnels caller cancellation through the same path.
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		stopping = true
+		mu.Unlock()
+		cond.Broadcast()
+		cancel()
+	}
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-ctx.Done()
+		mu.Lock()
+		stopping = true
+		mu.Unlock()
+		cond.Broadcast()
+	}()
+
+	err := shard(ctx, n, jobs, func(ep int) error {
+		// Bounded reorder window: episode ep may only run once the stream
+		// has advanced to within window of it. The episode holding `next`
+		// is never blocked here, so the stream always progresses.
+		mu.Lock()
+		for ep >= next+window && !stopping {
+			cond.Wait()
+		}
+		if stopping {
+			mu.Unlock()
+			return ctx.Err()
+		}
+		mu.Unlock()
+
+		r, rerr := run(ep)
+		if rerr != nil {
+			fail(rerr)
+			return rerr
+		}
+
+		mu.Lock()
+		if stopping {
+			mu.Unlock()
+			return ctx.Err()
+		}
+		pending[ep] = r
+		for {
+			rr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if e := emit(next, rr); e != nil {
+				mu.Unlock()
+				fail(e)
+				return e
+			}
+			next++
+		}
+		mu.Unlock()
+		cond.Broadcast()
+		return nil
+	})
+	cancel()
+	<-watcherDone
+	mu.Lock()
+	ferr := firstErr
+	mu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	return err
+}
+
 // Certify is harness.Certify sharded over jobs workers: episodes are
 // distributed across the pool, each seeded purely from the base seed and
 // its episode index (exactly as the sequential path seeds them), and the
-// reports are folded in episode order, so the returned statistics are
-// byte-identical to harness.Certify for the same configuration whenever
-// the per-episode histories are — always under cfg.Interleaved, and for
-// any engine whose per-episode verdicts don't depend on scheduling luck.
-// jobs <= 0 uses GOMAXPROCS.
+// reports are folded in episode order via CertifyStream, so the returned
+// statistics are byte-identical to harness.Certify for the same
+// configuration whenever the per-episode histories are — always under
+// cfg.Interleaved, and for any engine whose per-episode verdicts don't
+// depend on scheduling luck. jobs <= 0 uses GOMAXPROCS.
 func Certify(ctx context.Context, cfg harness.CertConfig, criteria []spec.Criterion, jobs int) (harness.CertStats, error) {
 	cfg = cfg.WithDefaults()
-	reports := make([]harness.EpisodeReport, cfg.Episodes)
-	err := shard(ctx, cfg.Episodes, jobs, func(ep int) error {
-		r, rerr := harness.CertifyEpisode(cfg, ep, criteria)
-		if rerr != nil {
-			return rerr
-		}
-		reports[ep] = r
+	stats := harness.NewCertStats(cfg.Workload.Engine)
+	err := CertifyStream(ctx, cfg, criteria, jobs, func(_ int, r harness.EpisodeReport) error {
+		stats.AddEpisode(criteria, r)
 		return nil
 	})
-	stats := harness.NewCertStats(cfg.Workload.Engine)
 	if err != nil {
-		return stats, err
-	}
-	for _, r := range reports {
-		stats.AddEpisode(criteria, r)
+		return harness.NewCertStats(cfg.Workload.Engine), err
 	}
 	return stats, nil
 }

@@ -42,6 +42,19 @@ type SoakConfig struct {
 	NodeLimit int
 	// MaxTxns skips histories too large for exact checking (default 40).
 	MaxTxns int
+	// Portfolio > 1 runs each exact check as a parallel portfolio search
+	// with that many workers (spec.WithParallelism). Combine with a small
+	// jobs count when a few hard cells dominate the soak.
+	Portfolio int
+}
+
+// checkOpts builds the spec options shared by the soak's checks.
+func (c SoakConfig) checkOpts() []spec.Option {
+	opts := []spec.Option{spec.WithNodeLimit(c.NodeLimit)}
+	if c.Portfolio > 1 {
+		opts = append(opts, spec.WithParallelism(c.Portfolio))
+	}
+	return opts
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -151,6 +164,7 @@ func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 		}
 	}
 	cells := make([]SoakCell, len(tasks))
+	checkOpts := cfg.checkOpts()
 	err := shard(ctx, len(tasks), jobs, func(i int) error {
 		t := tasks[i]
 		w := cfg.roundWorkload(t.round)
@@ -176,7 +190,7 @@ func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 		}
 		cell.Verdicts = make(map[spec.Criterion]spec.Verdict, len(cfg.Criteria))
 		for _, c := range cfg.Criteria {
-			cell.Verdicts[c] = spec.Check(h, c, spec.WithNodeLimit(cfg.NodeLimit))
+			cell.Verdicts[c] = spec.Check(h, c, checkOpts...)
 		}
 		cells[i] = cell
 		return nil
@@ -246,18 +260,18 @@ func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 		// satisfy that and lose the divergence).
 		d.Minimal = gen.Shrink(cell.History, func(g *history.History) bool {
 			for _, c := range d.Accepted {
-				if v := spec.Check(g, c, spec.WithNodeLimit(cfg.NodeLimit)); !v.OK {
+				if v := spec.Check(g, c, checkOpts...); !v.OK {
 					return false
 				}
 			}
 			for _, c := range d.Rejected {
-				if v := spec.Check(g, c, spec.WithNodeLimit(cfg.NodeLimit)); v.OK || v.Undecided {
+				if v := spec.Check(g, c, checkOpts...); v.OK || v.Undecided {
 					return false
 				}
 			}
 			return true
 		})
-		d.Reason = spec.Check(d.Minimal, target, spec.WithNodeLimit(cfg.NodeLimit)).Reason
+		d.Reason = spec.Check(d.Minimal, target, checkOpts...).Reason
 		divs[j] = d
 		return nil
 	})

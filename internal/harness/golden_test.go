@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duopacity/internal/histio"
+	"duopacity/internal/spec"
+)
+
+// TestTMS2AbortedReaderGolden pins the TMS2 aborted-reader divergence the
+// differential soak surfaces on committed-state deferred-update engines
+// (see testdata/tms2_aborted_reader.hist for the full account): a reader
+// that observes a value, is overtaken by a later committed writer of the
+// same object, and then aborts at its own tryC. The implemented TMS2
+// reading orders the committed writer before the aborted reader via the
+// conflict-order edge and rejects; every other implemented criterion
+// accepts, because the completion may simply serialize the aborted reader
+// before the writer.
+//
+// This is a regression pin for the ROADMAP's open interpretation
+// question — whether aborted readers should be exempt from TMS2's
+// conflict-order edges, as TMS2's operational snapshot-at-read validation
+// of aborted transactions suggests. If CheckTMS2's reading is ever
+// revisited, this test must be updated deliberately alongside the
+// documented semantics in spec.CheckTMS2.
+func TestTMS2AbortedReaderGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "tms2_aborted_reader.hist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := histio.Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The premise of the divergence: the reader aborted (at its own tryC,
+	// invoked after the overtaking writer's commit response).
+	reader := h.Txn(12)
+	if reader == nil || !reader.Aborted() {
+		t.Fatal("golden history must contain aborted reader T12")
+	}
+	writer := h.Txn(13)
+	if writer == nil || !writer.Committed() || writer.TryCRes >= reader.TryCInv {
+		t.Fatal("golden history must commit writer T13 before T12 invokes tryC")
+	}
+
+	// The divergence: the implemented TMS2 reading rejects...
+	tms2 := spec.CheckTMS2(h)
+	if tms2.OK || tms2.Undecided {
+		t.Fatalf("implemented TMS2 reading must reject the golden history, got %s", tms2)
+	}
+	// ...while the paper's deferred-update condition and its relatives
+	// accept: the completion serializes the aborted reader before the
+	// overtaking writer.
+	for _, c := range []spec.Criterion{
+		spec.DUOpacity, spec.Opacity, spec.FinalStateOpacity,
+		spec.RCO, spec.StrictSerializability, spec.Serializability,
+	} {
+		if v := spec.Check(h, c); !v.OK {
+			t.Errorf("%s must accept the golden history, got %s", c, v)
+		}
+	}
+}

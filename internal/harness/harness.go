@@ -252,6 +252,12 @@ type CertConfig struct {
 	// including single-CPU machines where real goroutines rarely
 	// interleave mid-transaction.
 	Interleaved bool
+	// Portfolio > 1 runs each exact check as a parallel portfolio search
+	// with that many workers (spec.WithParallelism): useful when a few
+	// hard episodes dominate a certification. Acceptance is unaffected,
+	// but undecided verdicts near the node limit may vary between runs;
+	// keep 0 for bit-reproducible statistics.
+	Portfolio int
 }
 
 // WithDefaults fills the zero fields of the configuration with the
@@ -333,8 +339,12 @@ func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeR
 		return EpisodeReport{Skipped: true, History: h}, nil
 	}
 	r := EpisodeReport{Verdicts: make(map[spec.Criterion]spec.Verdict, len(criteria)), History: h}
+	opts := []spec.Option{spec.WithNodeLimit(cfg.NodeLimit)}
+	if cfg.Portfolio > 1 {
+		opts = append(opts, spec.WithParallelism(cfg.Portfolio))
+	}
 	for _, c := range criteria {
-		r.Verdicts[c] = spec.Check(h, c, spec.WithNodeLimit(cfg.NodeLimit))
+		r.Verdicts[c] = spec.Check(h, c, opts...)
 	}
 	return r, nil
 }

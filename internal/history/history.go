@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // History is a well-formed (finite) sequence of invocation and response
@@ -17,6 +18,10 @@ type History struct {
 	// without synchronization.
 	txns map[TxnID]*TxnInfo
 	ids  []TxnID // transaction ids in order of first appearance
+
+	// idx caches the dense Indexed view, built lazily on first use (Index).
+	idxOnce sync.Once
+	idx     *Indexed
 }
 
 // FromEvents validates evs as a well-formed history and returns it.

@@ -1,0 +1,272 @@
+package history
+
+import (
+	"sort"
+)
+
+// Indexed is the dense, precomputed view of a history that the decision
+// procedures (package spec), the proof constructions (package koenig) and
+// the online monitor share. It replaces the per-check rebuilding of
+// map[Var]int / map[TxnID]int with indexes computed once per History:
+// histories are immutable, so the view is cached on the History and safe
+// to share across goroutines.
+//
+// Transaction indexes follow first-appearance order (the order of
+// History.Txns); object indexes follow the sorted order of History.Vars.
+type Indexed struct {
+	H *History
+
+	// Objs holds the t-objects in dense-index order.
+	Objs   []Var
+	objIdx map[Var]int
+
+	// TxnIDs holds the transaction identifiers in dense-index order.
+	TxnIDs []TxnID
+	txnIdx map[TxnID]int
+
+	// Txns holds the per-transaction summaries, parallel to TxnIDs.
+	Txns []IndexedTxn
+
+	// The bitmask views below are populated only when the history has at
+	// most 64 transactions (the exact checkers' limit); they are nil
+	// otherwise and MasksValid reports which case holds.
+	MasksValid bool
+	// RTPred[i] is the set of transactions that real-time precede
+	// transaction i (Definition 3, condition 2).
+	RTPred []uint64
+	// Writers[o] is the set of transactions with a successful (last) write
+	// to object o — the candidate sources of a read of o.
+	Writers []uint64
+}
+
+// IndexedTxn is the per-transaction summary of the view.
+type IndexedTxn struct {
+	// Info is the underlying per-transaction view H|k.
+	Info *TxnInfo
+
+	// Reads lists the external value-returning reads of the transaction in
+	// H|k order: reads satisfied by an earlier own write are excluded (they
+	// are legal in every serialization once consistent).
+	Reads []IndexedRead
+	// Writes lists the values the transaction installs if it commits (the
+	// latest successful write per object), sorted by object index.
+	Writes []IndexedWrite
+
+	// BadReadOp indexes Info.Ops at the first read that returned a value
+	// different from the transaction's own latest preceding write of the
+	// same object (-1 when none): such a history is inconsistent in every
+	// serialization. BadReadWant is the own-write value the read missed.
+	BadReadOp   int
+	BadReadWant Value
+
+	// Status flags and event positions, copied from Info for locality.
+	First, Last      int
+	TryCInv, TryCRes int
+	Committed        bool
+	CommitPending    bool
+	TComplete        bool
+	Complete         bool
+}
+
+// IndexedRead is one external value-returning read.
+type IndexedRead struct {
+	Obj    int // dense object index
+	Val    Value
+	ResIdx int // index in H of the read's response event
+	Op     Op  // the operation, for diagnostics
+}
+
+// IndexedWrite is one installed write (the transaction's latest successful
+// write to the object).
+type IndexedWrite struct {
+	Obj int // dense object index
+	Val Value
+}
+
+// Index returns the history's indexed view, building it on first use. The
+// view is cached: repeated checks of the same History share one index.
+func (h *History) Index() *Indexed {
+	h.idxOnce.Do(func() { h.idx = buildIndex(h) })
+	return h.idx
+}
+
+// NumTxns returns the number of transactions in the view.
+func (ix *Indexed) NumTxns() int { return len(ix.TxnIDs) }
+
+// NumObjs returns the number of t-objects in the view.
+func (ix *Indexed) NumObjs() int { return len(ix.Objs) }
+
+// TxnIndexOf returns the dense index of T_k, or -1.
+func (ix *Indexed) TxnIndexOf(k TxnID) int {
+	if i, ok := ix.txnIdx[k]; ok {
+		return i
+	}
+	return -1
+}
+
+// ObjIndexOf returns the dense index of the object, or -1.
+func (ix *Indexed) ObjIndexOf(v Var) int {
+	if i, ok := ix.objIdx[v]; ok {
+		return i
+	}
+	return -1
+}
+
+func buildIndex(h *History) *Indexed {
+	ix := &Indexed{H: h}
+
+	// Objects, sorted (matching History.Vars).
+	seen := make(map[Var]bool)
+	for _, e := range h.events {
+		if e.Op == OpRead || e.Op == OpWrite {
+			if !seen[e.Obj] {
+				seen[e.Obj] = true
+				ix.Objs = append(ix.Objs, e.Obj)
+			}
+		}
+	}
+	sort.Slice(ix.Objs, func(i, j int) bool { return ix.Objs[i] < ix.Objs[j] })
+	ix.objIdx = make(map[Var]int, len(ix.Objs))
+	for i, v := range ix.Objs {
+		ix.objIdx[v] = i
+	}
+
+	n := len(h.ids)
+	ix.TxnIDs = append([]TxnID(nil), h.ids...)
+	ix.txnIdx = make(map[TxnID]int, n)
+	ix.Txns = make([]IndexedTxn, n)
+	for i, k := range ix.TxnIDs {
+		ix.txnIdx[k] = i
+		t := h.txns[k]
+		it := &ix.Txns[i]
+		it.Info = t
+		it.BadReadOp = -1
+		it.First, it.Last = t.First, t.Last
+		it.TryCInv, it.TryCRes = t.TryCInv, t.TryCRes
+		it.Committed = t.Committed()
+		it.CommitPending = t.CommitPending()
+		it.TComplete = t.TComplete()
+		it.Complete = t.Complete()
+
+		// Classify reads and find the latest successful write per object by
+		// scanning H|k; own-write lookback is a backward scan (transactions
+		// are short, and this keeps index building allocation-light).
+		for j, op := range t.Ops {
+			if op.Pending {
+				break
+			}
+			if op.Kind != OpRead || op.Out != OutOK {
+				continue
+			}
+			own := false
+			for p := j - 1; p >= 0; p-- {
+				prev := t.Ops[p]
+				if prev.Kind == OpWrite && prev.Out == OutOK && prev.Obj == op.Obj {
+					own = true
+					if prev.Arg != op.Val && it.BadReadOp < 0 {
+						it.BadReadOp = j
+						it.BadReadWant = prev.Arg
+					}
+					break
+				}
+			}
+			if own {
+				continue
+			}
+			it.Reads = append(it.Reads, IndexedRead{
+				Obj: ix.objIdx[op.Obj], Val: op.Val, ResIdx: op.ResIndex, Op: op,
+			})
+		}
+		for j, op := range t.Ops {
+			if op.Pending || op.Kind != OpWrite || op.Out != OutOK {
+				continue
+			}
+			// Keep only the latest write per object.
+			last := true
+			for p := j + 1; p < len(t.Ops); p++ {
+				next := t.Ops[p]
+				if next.Pending {
+					break
+				}
+				if next.Kind == OpWrite && next.Out == OutOK && next.Obj == op.Obj {
+					last = false
+					break
+				}
+			}
+			if last {
+				it.Writes = append(it.Writes, IndexedWrite{Obj: ix.objIdx[op.Obj], Val: op.Arg})
+			}
+		}
+		sort.Slice(it.Writes, func(a, b int) bool { return it.Writes[a].Obj < it.Writes[b].Obj })
+	}
+
+	if n <= 64 {
+		ix.MasksValid = true
+		ix.RTPred = make([]uint64, n)
+		ix.Writers = make([]uint64, len(ix.Objs))
+		for i := range ix.Txns {
+			it := &ix.Txns[i]
+			bit := uint64(1) << uint(i)
+			for _, w := range it.Writes {
+				ix.Writers[w.Obj] |= bit
+			}
+			if it.TComplete {
+				for m := range ix.Txns {
+					if m != i && it.Last < ix.Txns[m].First {
+						ix.RTPred[m] |= bit
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// SeqForOrder materializes the t-complete t-sequential history with
+// transactions in the given dense-index order, completed per Definition 2
+// (exactly as SeqFromHistory, which validates its inputs; this builder
+// trusts the caller and allocates the operation slices as one slab). The
+// order may cover a subset of the transactions — the serializability
+// baselines order only committed and commit-pending transactions — and
+// commit[pos] resolves the completion of a pending tryC at order[pos].
+func (ix *Indexed) SeqForOrder(order []int, commit []bool) *Seq {
+	total := 0
+	for _, gi := range order {
+		it := &ix.Txns[gi]
+		total += len(it.Info.Ops)
+		if it.Complete && !it.TComplete {
+			total++
+		}
+	}
+	slab := make([]Op, 0, total)
+	txns := make([]SeqTxn, len(order))
+	for pos, gi := range order {
+		it := &ix.Txns[gi]
+		t := it.Info
+		start := len(slab)
+		slab = append(slab, t.Ops...)
+		switch {
+		case it.TComplete:
+			// Keep H|k as is.
+		case it.CommitPending:
+			last := &slab[len(slab)-1]
+			last.Pending = false
+			if commit[pos] {
+				last.Out = OutCommit
+			} else {
+				last.Out = OutAbort
+			}
+		case !it.Complete:
+			// Pending read, write or tryA: completed with A_k.
+			last := &slab[len(slab)-1]
+			last.Pending = false
+			last.Out = OutAbort
+		default:
+			// Complete but not t-complete: synthetic tryC·A_k.
+			slab = append(slab, Op{Kind: OpTryCommit, Out: OutAbort, InvIndex: -1, ResIndex: -1})
+		}
+		end := len(slab)
+		txns[pos] = SeqTxn{ID: t.ID, Ops: slab[start:end:end]}
+	}
+	return &Seq{Txns: txns}
+}

@@ -30,6 +30,9 @@ import (
 // prefix's status (keeping s's commit decision for transactions whose tryC
 // is pending in the prefix).
 func RestrictSerialization(h *history.History, s *history.Seq, i int) (*history.Seq, error) {
+	// The prefix's per-transaction views are computed by Prefix itself;
+	// building the dense index here would cost more than it saves, since
+	// each restriction touches each transaction once.
 	hi := h.Prefix(i)
 	commit := make(map[history.TxnID]bool)
 	var order []history.TxnID
@@ -198,14 +201,15 @@ func BuildGraph(h *history.History, perLevel int) (*Graph, error) {
 // transactions that are complete in H^i with respect to H — their last
 // event in H is a response and lies within the first i events.
 func completeSeq(h *history.History, s *history.Seq, i int) []history.TxnID {
+	ix := h.Index()
 	var out []history.TxnID
 	for idx := range s.Txns {
 		k := s.Txns[idx].ID
-		t := h.Txn(k)
-		if t == nil {
+		ti := ix.TxnIndexOf(k)
+		if ti < 0 {
 			continue
 		}
-		if t.Last < i && t.Complete() {
+		if t := &ix.Txns[ti]; t.Last < i && t.Complete {
 			out = append(out, k)
 		}
 	}

@@ -2,9 +2,9 @@ package spec
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"duopacity/internal/history"
 )
@@ -12,24 +12,6 @@ import (
 // maxTxns bounds the exact checkers: placed-transaction sets are tracked as
 // 64-bit masks.
 const maxTxns = 64
-
-// readReq is an external read of a transaction: a read that returned a
-// value and is not preceded by an own write to the same object, so its
-// legality depends on the serialization order.
-type readReq struct {
-	obj    int // object index
-	val    history.Value
-	resIdx int // index in H of the read's response event
-	op     history.Op
-}
-
-// writerEntry records a committed transaction's write on a per-object
-// stack, in serialization order.
-type writerEntry struct {
-	txn     int // transaction index
-	val     history.Value
-	tryCInv int // index in H of the writer's tryC invocation (>= 0)
-}
 
 // txnRole describes how a transaction may end in a serialization.
 type txnRole uint8
@@ -56,190 +38,325 @@ type searchMode struct {
 	extraEdges [][2]history.TxnID
 }
 
+// stackEntry records a committed transaction's write on a per-object stack,
+// in serialization order. The stacks live in one slab (engine.stackSlab)
+// with per-object offsets, sized from the per-object writer counts.
+type stackEntry struct {
+	txn     int32 // engine transaction index
+	tryCInv int32 // index in H of the writer's tryC invocation (>= 0)
+	val     history.Value
+}
+
 // engine is the exhaustive serialization search shared by all criteria.
+//
+// It is the allocation-free rewrite of the reference engine (reference.go):
+// the per-check analysis comes from the history's cached Indexed view, the
+// memo table stores 64-bit Zobrist-style fingerprints maintained
+// incrementally by pushTxn/popTxn instead of built strings, candidate
+// selection iterates transaction bitmasks, and the whole scratch state is
+// pooled across checks.
+//
+// Memo hits are accepted on the 64-bit fingerprint alone: a collision
+// between two distinct (placed set, stacks) states would prune a live
+// state and could refute a satisfiable history. The probability is
+// bounded by states²/2⁶⁴ per check — about 10⁻⁷ at the default
+// 2-million-node certification limit, and far smaller for the
+// ~thousand-node checks that dominate in practice — which the exactness
+// claim of this package accepts as negligible; the string-keyed reference
+// engine has no such caveat and remains the arbiter in the differential
+// tests.
 type engine struct {
 	h    *history.History
+	ix   *history.Indexed
 	mode searchMode
 	opts options
 
-	ids  []history.TxnID
-	idx  map[history.TxnID]int
-	txs  []*history.TxnInfo
+	n    int                   // participating transactions
+	gidx []int                 // engine index -> dense index in ix
+	txs  []*history.IndexedTxn // per engine txn, aliasing ix.Txns
 	role []txnRole
+	pred []uint64 // required predecessors per engine txn; may alias ix.RTPred
+	// predBuf is the engine-owned buffer behind pred whenever pred must
+	// differ from the shared real-time masks (extra edges, committedOnly
+	// compaction, no real-time order).
+	predBuf []uint64
 
-	objs   []history.Var
-	objIdx map[history.Var]int
+	all     uint64 // mask of all engine transactions
+	noWrite uint64 // engine transactions that install no writes
 
-	reads      [][]readReq             // external reads per txn
-	lastWrites []map[int]history.Value // committed values per txn, by object index
-	writeObjs  [][]int                 // sorted object indexes written per txn
-
-	pred []uint64 // required predecessors per txn (real-time + extra edges)
+	// Per-object committed-writer stacks in one slab.
+	stackOff  []int32
+	stackLen  []int32
+	stackSlab []stackEntry
 
 	// Search state.
 	placed  uint64
-	order   []int
+	fp      uint64 // incremental fingerprint of (placed, stacks)
+	order   []int32
 	commits []bool
-	stacks  [][]writerEntry
-	memo    map[string]struct{}
+	memo    fpTable
 	nodes   int
+
+	// Portfolio state (nil when searching sequentially): a shared
+	// first-witness-wins cancellation flag and a shared node budget that
+	// workers claim in chunks.
+	stop      *atomic.Bool
+	budget    *atomic.Int64
+	chunk     int // nodes left in the locally claimed budget chunk
+	chunkSize int // claim granularity, sized by decideParallel to the budget
 
 	// Enumeration state (nil unless enumerating).
 	collect func(*history.Seq) bool
+
+	// Scratch for witness materialization.
+	orderBuf []int
 
 	witness *history.Seq
 	reason  string
 	bailed  bool // node limit reached
 }
 
-// newEngine analyzes h for the given mode. It returns an error verdict
-// reason if h is statically refuted or out of scope.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+// grow returns a slice of length n, reusing s's backing array when it is
+// large enough. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// release returns the engine's scratch to the pool, dropping references
+// into the checked history.
+func (e *engine) release() {
+	e.h, e.ix = nil, nil
+	e.mode = searchMode{}
+	e.pred = nil // may alias ix.RTPred; predBuf stays pooled
+	e.stop, e.budget = nil, nil
+	e.collect = nil
+	e.witness = nil
+	for i := range e.txs {
+		e.txs[i] = nil
+	}
+	enginePool.Put(e)
+}
+
+// newEngine analyzes h for the given mode using the cached indexed view.
+// It returns an error verdict reason if h is statically refuted or out of
+// scope; the engine is already released in that case.
 func newEngine(h *history.History, mode searchMode, opts options) (*engine, string) {
-	e := &engine{h: h, mode: mode, opts: opts, memo: make(map[string]struct{})}
-	all := h.Txns()
-	e.idx = make(map[history.TxnID]int, len(all))
-	for _, k := range all {
-		t := h.Txn(k)
-		if mode.committedOnly && !(t.Committed() || t.CommitPending()) {
+	ix := h.Index()
+	e := enginePool.Get().(*engine)
+	e.h, e.ix, e.mode, e.opts = h, ix, mode, opts
+	e.placed, e.fp, e.nodes, e.chunk, e.chunkSize = 0, 0, 0, 0, 0
+	e.order = grow(e.order, 0)
+	e.commits = grow(e.commits, 0)
+	e.witness, e.reason, e.bailed = nil, "", false
+	e.stop, e.budget, e.collect = nil, nil, nil
+
+	// Participating transactions, in first-appearance order.
+	N := ix.NumTxns()
+	e.gidx = grow(e.gidx, 0)
+	for gi := 0; gi < N; gi++ {
+		it := &ix.Txns[gi]
+		if mode.committedOnly && !(it.Committed || it.CommitPending) {
 			continue
 		}
-		e.idx[k] = len(e.ids)
-		e.ids = append(e.ids, k)
-		e.txs = append(e.txs, t)
+		e.gidx = append(e.gidx, gi)
 	}
-	n := len(e.ids)
+	n := len(e.gidx)
+	e.n = n
 	if n > maxTxns {
+		e.release()
 		return nil, fmt.Sprintf("history has %d transactions; exact checking is limited to %d", n, maxTxns)
 	}
-
-	e.objIdx = make(map[history.Var]int)
-	for _, v := range h.Vars() {
-		e.objIdx[v] = len(e.objs)
-		e.objs = append(e.objs, v)
+	if n == 64 {
+		e.all = ^uint64(0)
+	} else {
+		e.all = (uint64(1) << uint(n)) - 1
 	}
-	e.stacks = make([][]writerEntry, len(e.objs))
 
-	e.role = make([]txnRole, n)
-	e.reads = make([][]readReq, n)
-	e.lastWrites = make([]map[int]history.Value, n)
-	e.writeObjs = make([][]int, n)
-	e.pred = make([]uint64, n)
-
-	for i, t := range e.txs {
+	e.txs = grow(e.txs, n)
+	e.role = grow(e.role, n)
+	e.noWrite = 0
+	for i, gi := range e.gidx {
+		it := &ix.Txns[gi]
+		e.txs[i] = it
 		switch {
-		case t.Committed():
+		case it.Committed:
 			e.role[i] = roleMustCommit
-		case t.CommitPending():
+		case it.CommitPending:
 			e.role[i] = roleEither
 		default:
 			e.role[i] = roleMustAbort
 		}
-		// Analyze H|k: own-write overlay, external reads, last writes.
-		overlay := make(map[history.Var]history.Value)
-		for _, op := range t.Ops {
-			if op.Pending {
-				break
-			}
-			switch op.Kind {
-			case history.OpRead:
-				if op.Out != history.OutOK {
-					continue
-				}
-				if v, ok := overlay[op.Obj]; ok {
-					if v != op.Val {
-						return nil, fmt.Sprintf(
-							"T%d: %v returned %d but the transaction's own latest write to %s is %d",
-							t.ID, op, op.Val, op.Obj, v)
+		if len(it.Writes) == 0 {
+			e.noWrite |= uint64(1) << uint(i)
+		}
+	}
+	// A read that misses the transaction's own latest preceding write is
+	// inconsistent in every serialization (checked in the reference engine
+	// during analysis, so it precedes the static-reject reasons).
+	for _, it := range e.txs[:n] {
+		if it.BadReadOp >= 0 {
+			op := it.Info.Ops[it.BadReadOp]
+			reason := fmt.Sprintf(
+				"T%d: %v returned %d but the transaction's own latest write to %s is %d",
+				it.Info.ID, op, op.Val, op.Obj, it.BadReadWant)
+			e.release()
+			return nil, reason
+		}
+	}
+
+	// Ordering constraints. The common fast path — every transaction
+	// participates, real-time order, no extra edges — aliases the index's
+	// precomputed masks; every other combination fills the engine's buffer.
+	identity := n == N
+	if mode.realTime && identity && len(mode.extraEdges) == 0 && ix.MasksValid {
+		e.pred = ix.RTPred
+	} else {
+		e.predBuf = grow(e.predBuf, n)
+		for i := range e.predBuf {
+			e.predBuf[i] = 0
+		}
+		if mode.realTime {
+			for bi, gb := range e.gidx {
+				first := ix.Txns[gb].First
+				for ai, ga := range e.gidx {
+					if ai == bi {
+						continue
 					}
-					continue // own-write read: legal in every serialization
-				}
-				e.reads[i] = append(e.reads[i], readReq{
-					obj: e.objIdx[op.Obj], val: op.Val, resIdx: op.ResIndex, op: op,
-				})
-			case history.OpWrite:
-				if op.Out == history.OutOK {
-					overlay[op.Obj] = op.Arg
+					ta := &ix.Txns[ga]
+					if ta.TComplete && ta.Last < first {
+						e.predBuf[bi] |= uint64(1) << uint(ai)
+					}
 				}
 			}
 		}
-		lw := make(map[int]history.Value, len(overlay))
-		for v, val := range overlay {
-			lw[e.objIdx[v]] = val
-		}
-		e.lastWrites[i] = lw
-		for o := range lw {
-			e.writeObjs[i] = append(e.writeObjs[i], o)
-		}
-		sort.Ints(e.writeObjs[i])
-	}
-
-	// Ordering constraints.
-	if mode.realTime {
-		for _, m := range e.ids {
-			mi := e.idx[m]
-			for _, k := range e.ids {
-				if h.RealTimePrecedes(k, m) {
-					e.pred[mi] |= 1 << uint(e.idx[k])
-				}
+		for _, edge := range mode.extraEdges {
+			ai := e.engineIndexOf(edge[0])
+			bi := e.engineIndexOf(edge[1])
+			if ai >= 0 && bi >= 0 {
+				e.predBuf[bi] |= uint64(1) << uint(ai)
 			}
 		}
+		e.pred = e.predBuf
 	}
-	for _, edge := range mode.extraEdges {
-		ai, aok := e.idx[edge[0]]
-		bi, bok := e.idx[edge[1]]
-		if aok && bok {
-			e.pred[bi] |= 1 << uint(ai)
-		}
-	}
-	if reason := e.staticReject(); reason != "" {
-		return nil, reason
-	}
-	return e, ""
-}
 
-// staticReject performs order-independent feasibility checks so that common
-// violations are refuted without search, with a precise reason.
-func (e *engine) staticReject() string {
-	// Candidate writers per (object, value): transactions that can commit
-	// that value.
-	type key struct {
-		obj int
-		val history.Value
+	// Per-object committed-writer stacks: offsets sized from the number of
+	// commit-capable writers per object.
+	numObjs := ix.NumObjs()
+	e.stackOff = grow(e.stackOff, numObjs)
+	e.stackLen = grow(e.stackLen, numObjs)
+	for o := 0; o < numObjs; o++ {
+		e.stackOff[o] = 0
+		e.stackLen[o] = 0
 	}
-	capable := make(map[key][]int)
-	for i := range e.txs {
+	for i, it := range e.txs[:n] {
 		if e.role[i] == roleMustAbort {
 			continue
 		}
-		for o, v := range e.lastWrites[i] {
-			capable[key{o, v}] = append(capable[key{o, v}], i)
+		for _, w := range it.Writes {
+			e.stackOff[w.Obj]++ // count pass
 		}
 	}
-	for i, t := range e.txs {
-		for _, r := range e.reads[i] {
-			if r.val == history.InitValue {
+	total := int32(0)
+	for o := 0; o < numObjs; o++ {
+		c := e.stackOff[o]
+		e.stackOff[o] = total
+		total += c
+	}
+	e.stackSlab = grow(e.stackSlab, int(total))
+
+	if reason := e.staticReject(); reason != "" {
+		e.release()
+		return nil, reason
+	}
+	e.memo.reset()
+	return e, ""
+}
+
+// engineIndexOf maps a transaction identifier to its engine index, or -1.
+func (e *engine) engineIndexOf(k history.TxnID) int {
+	gi := e.ix.TxnIndexOf(k)
+	if gi < 0 {
+		return -1
+	}
+	if e.n == e.ix.NumTxns() {
+		return gi
+	}
+	// Compacted (committedOnly) mapping; n is small, scan.
+	for i, g := range e.gidx {
+		if g == gi {
+			return i
+		}
+	}
+	return -1
+}
+
+// staticReject performs order-independent feasibility checks so that common
+// violations are refuted without search, with a precise reason. It matches
+// the reference engine's messages exactly but scans the indexed writer
+// summaries instead of building a (object, value) -> writers map.
+func (e *engine) staticReject() string {
+	// When every transaction participates, the engine index space matches
+	// the index's, and the per-object writer masks narrow the candidate
+	// scan to the transactions that actually write the read's object.
+	useWriterMasks := e.n == e.ix.NumTxns() && e.ix.MasksValid
+	for i, it := range e.txs[:e.n] {
+		for _, r := range it.Reads {
+			if r.Val == history.InitValue {
 				continue // T_0 is always a legal source
 			}
-			cands := capable[key{r.obj, r.val}]
 			found := false
 			foundLocal := false
-			for _, c := range cands {
-				if c == i {
-					continue
+			if useWriterMasks {
+				for m := e.ix.Writers[r.Obj] &^ (uint64(1) << uint(i)); m != 0 && !foundLocal; m &= m - 1 {
+					c := bits.TrailingZeros64(m)
+					if e.role[c] == roleMustAbort {
+						continue
+					}
+					ct := e.txs[c]
+					for _, w := range ct.Writes {
+						if w.Obj != r.Obj || w.Val != r.Val {
+							continue
+						}
+						found = true
+						if ct.TryCInv >= 0 && ct.TryCInv < r.ResIdx {
+							foundLocal = true
+						}
+						break
+					}
 				}
-				found = true
-				if e.txs[c].TryCInv >= 0 && e.txs[c].TryCInv < r.resIdx {
-					foundLocal = true
+			} else {
+				for c, ct := range e.txs[:e.n] {
+					if c == i || e.role[c] == roleMustAbort {
+						continue
+					}
+					for _, w := range ct.Writes {
+						if w.Obj != r.Obj || w.Val != r.Val {
+							continue
+						}
+						found = true
+						if ct.TryCInv >= 0 && ct.TryCInv < r.ResIdx {
+							foundLocal = true
+						}
+						break
+					}
+					if foundLocal {
+						break
+					}
 				}
 			}
 			if !found {
 				return fmt.Sprintf("T%d: %v has no possible source: no committable transaction writes %s=%d",
-					t.ID, r.op, e.objs[r.obj], r.val)
+					it.Info.ID, r.Op, e.ix.Objs[r.Obj], r.Val)
 			}
 			if e.mode.local && !foundLocal {
 				return fmt.Sprintf(
 					"T%d: %v violates deferred update: no transaction writing %s=%d invoked tryC before the read's response",
-					t.ID, r.op, e.objs[r.obj], r.val)
+					it.Info.ID, r.Op, e.ix.Objs[r.Obj], r.Val)
 			}
 		}
 	}
@@ -260,16 +377,50 @@ func (e *engine) run() (ok bool, witness *history.Seq, reason string, bailed boo
 	return false, nil, e.reason, false, e.nodes
 }
 
+// claimNode draws one search node from the shared portfolio budget,
+// claiming it in chunks to keep the atomic traffic low. It reports false
+// when the budget is exhausted. Workers refund unused chunk remainders
+// between branches (decideParallel), so short branches don't strand
+// budget.
+func (e *engine) claimNode() bool {
+	if e.chunk > 0 {
+		e.chunk--
+		return true
+	}
+	size := e.chunkSize
+	if size <= 0 {
+		size = 256
+	}
+	after := e.budget.Add(-int64(size))
+	claimed := size + int(after)
+	if claimed > size {
+		claimed = size
+	}
+	if claimed <= 0 {
+		return false
+	}
+	e.chunk = claimed - 1
+	return true
+}
+
 // search tries to extend the current partial serialization to a full one.
 // It returns true when a witness has been found (and, when not
 // enumerating, the search should stop).
 func (e *engine) search() bool {
-	if e.opts.nodeLimit > 0 && e.nodes > e.opts.nodeLimit {
+	if e.stop != nil && e.stop.Load() {
+		// Another portfolio worker already found a witness.
+		return false
+	}
+	if e.budget != nil {
+		if !e.claimNode() {
+			e.bailed = true
+			return false
+		}
+	} else if e.opts.nodeLimit > 0 && e.nodes > e.opts.nodeLimit {
 		e.bailed = true
 		return false
 	}
 	e.nodes++
-	n := len(e.ids)
 
 	// Greedy dominance phase (skipped when enumerating, where it would
 	// hide valid orders): a transaction that installs no writes never
@@ -277,25 +428,13 @@ func (e *engine) search() bool {
 	// current state it can be placed immediately — any completion placing
 	// it later maps to one placing it now with identical stack evolution.
 	// This collapses the exponential interchangeability of concurrent
-	// readers (e.g. the Figure 2 family).
+	// readers (e.g. the Figure 2 family). The stacks are constant
+	// throughout the phase, so a transaction whose reads fail once is dead
+	// for the whole phase and the fixpoint loop only re-examines
+	// predecessor availability.
 	greedy := 0
 	if e.collect == nil {
-		for progress := true; progress; {
-			progress = false
-			for i := 0; i < n; i++ {
-				bit := uint64(1) << uint(i)
-				if e.placed&bit != 0 || e.pred[i]&^e.placed != 0 || len(e.writeObjs[i]) > 0 {
-					continue
-				}
-				// Commit read-only t-committed transactions; abort the
-				// rest (for a no-write transaction the two are
-				// interchangeable except for equivalence to H).
-				if e.pushTxn(i, e.role[i] == roleMustCommit) {
-					greedy++
-					progress = true
-				}
-			}
-		}
+		greedy = e.greedyPlace()
 	}
 	defer func() {
 		for ; greedy > 0; greedy-- {
@@ -303,19 +442,18 @@ func (e *engine) search() bool {
 		}
 	}()
 
-	if len(e.order) == n {
+	if e.placed == e.all {
 		return e.emit()
 	}
-	key := e.stateKey()
-	if _, dead := e.memo[key]; dead {
+	if e.collect == nil && e.memo.seen(e.fp) {
 		return false
 	}
 	// Try available transactions in first-event order (the analysis order),
 	// which finds witnesses quickly on realistic histories.
 	found := false
-	for i := 0; i < n; i++ {
-		bit := uint64(1) << uint(i)
-		if e.placed&bit != 0 || e.pred[i]&^e.placed != 0 {
+	for m := e.all &^ e.placed; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if e.pred[i]&^e.placed != 0 {
 			continue
 		}
 		switch e.role[i] {
@@ -337,35 +475,68 @@ func (e *engine) search() bool {
 		}
 	}
 	if e.collect == nil {
-		e.memo[key] = struct{}{}
+		e.memo.insert(e.fp)
 	}
 	return false
 }
 
+// greedyPlace runs the greedy dominance phase and returns how many
+// transactions it placed (the caller pops them when unwinding).
+func (e *engine) greedyPlace() int {
+	greedy := 0
+	dead := uint64(0)
+	for {
+		progress := false
+		for m := e.noWrite &^ e.placed &^ dead; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if e.pred[i]&^e.placed != 0 {
+				continue
+			}
+			// Commit read-only t-committed transactions; abort the rest
+			// (for a no-write transaction the two are interchangeable
+			// except for equivalence to H).
+			if e.pushTxn(i, e.role[i] == roleMustCommit) {
+				greedy++
+				progress = true
+			} else {
+				dead |= uint64(1) << uint(i)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return greedy
+}
+
 // pushTxn checks transaction i's reads against the current stacks and, if
-// legal, appends it with the given commit decision, updating the stacks.
+// legal, appends it with the given commit decision, updating the stacks
+// and the incremental fingerprint.
 func (e *engine) pushTxn(i int, commit bool) bool {
-	for _, r := range e.reads[i] {
-		st := e.stacks[r.obj]
-		if len(st) > 0 {
-			if st[len(st)-1].val != r.val {
+	t := e.txs[i]
+	for _, r := range t.Reads {
+		base := e.stackOff[r.Obj]
+		sl := e.stackLen[r.Obj]
+		if sl > 0 {
+			if e.stackSlab[base+sl-1].val != r.Val {
 				return false
 			}
-		} else if r.val != history.InitValue {
+		} else if r.Val != history.InitValue {
 			return false
 		}
 		if e.mode.local {
 			legal := false
 			foundIncluded := false
-			for j := len(st) - 1; j >= 0; j-- {
-				if st[j].tryCInv < r.resIdx {
+			for j := sl - 1; j >= 0; j-- {
+				w := &e.stackSlab[base+j]
+				if int(w.tryCInv) < r.ResIdx {
 					foundIncluded = true
-					legal = st[j].val == r.val
+					legal = w.val == r.Val
 					break
 				}
 			}
 			if !foundIncluded {
-				legal = r.val == history.InitValue
+				legal = r.Val == history.InitValue
 			}
 			if !legal {
 				return false
@@ -373,13 +544,17 @@ func (e *engine) pushTxn(i int, commit bool) bool {
 		}
 	}
 	e.placed |= uint64(1) << uint(i)
-	e.order = append(e.order, i)
+	e.fp ^= zPlaced(i)
+	e.order = append(e.order, int32(i))
 	e.commits = append(e.commits, commit)
 	if commit {
-		for _, o := range e.writeObjs[i] {
-			e.stacks[o] = append(e.stacks[o], writerEntry{
-				txn: i, val: e.lastWrites[i][o], tryCInv: e.txs[i].TryCInv,
-			})
+		for _, w := range t.Writes {
+			d := e.stackLen[w.Obj]
+			e.stackSlab[e.stackOff[w.Obj]+d] = stackEntry{
+				txn: int32(i), tryCInv: int32(t.TryCInv), val: w.Val,
+			}
+			e.stackLen[w.Obj] = d + 1
+			e.fp ^= zStack(w.Obj, int(d), i)
 		}
 	}
 	return true
@@ -387,15 +562,19 @@ func (e *engine) pushTxn(i int, commit bool) bool {
 
 // popTxn undoes the most recent pushTxn.
 func (e *engine) popTxn() {
-	i := e.order[len(e.order)-1]
+	i := int(e.order[len(e.order)-1])
 	if e.commits[len(e.commits)-1] {
-		for _, o := range e.writeObjs[i] {
-			e.stacks[o] = e.stacks[o][:len(e.stacks[o])-1]
+		t := e.txs[i]
+		for _, w := range t.Writes {
+			d := e.stackLen[w.Obj] - 1
+			e.stackLen[w.Obj] = d
+			e.fp ^= zStack(w.Obj, int(d), i)
 		}
 	}
 	e.order = e.order[:len(e.order)-1]
 	e.commits = e.commits[:len(e.commits)-1]
 	e.placed &^= uint64(1) << uint(i)
+	e.fp ^= zPlaced(i)
 }
 
 // place appends transaction i with the given commit decision — checking
@@ -416,23 +595,11 @@ func (e *engine) place(i int, commit bool) bool {
 // enumerating it forwards the witness to the collector and reports whether
 // to stop.
 func (e *engine) emit() bool {
-	order := make([]history.TxnID, len(e.order))
-	commit := make(map[history.TxnID]bool, len(e.order))
+	e.orderBuf = grow(e.orderBuf, len(e.order))
 	for pos, i := range e.order {
-		order[pos] = e.ids[i]
-		commit[e.ids[i]] = e.commits[pos]
+		e.orderBuf[pos] = e.gidx[i]
 	}
-	var s *history.Seq
-	if e.mode.committedOnly {
-		s = e.committedSeq(order, commit)
-	} else {
-		var err error
-		s, err = history.SeqFromHistory(e.h, order, commit)
-		if err != nil {
-			// The order contains exactly the history's transactions.
-			panic("spec: internal error materializing witness: " + err.Error())
-		}
-	}
+	s := e.ix.SeqForOrder(e.orderBuf, e.commits)
 	if e.collect != nil {
 		stop := e.collect(s)
 		if stop {
@@ -445,40 +612,107 @@ func (e *engine) emit() bool {
 	return true
 }
 
-// committedSeq builds the witness for the serializability baselines, which
-// order only the committed transactions.
-func (e *engine) committedSeq(order []history.TxnID, commit map[history.TxnID]bool) *history.Seq {
-	s := &history.Seq{}
-	for _, k := range order {
-		t := e.h.Txn(k)
-		ops := append([]history.Op(nil), t.Ops...)
-		if t.CommitPending() {
-			last := &ops[len(ops)-1]
-			last.Pending = false
-			if commit[k] {
-				last.Out = history.OutCommit
-			} else {
-				last.Out = history.OutAbort
-			}
-		}
-		s.Txns = append(s.Txns, history.SeqTxn{ID: k, Ops: ops})
-	}
-	return s
+// --- Fingerprints ---------------------------------------------------------
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose outputs
+// serve as the Zobrist keys, computed on demand instead of from tables.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
-// stateKey fingerprints the search state: the placed set plus, per object,
-// the stack of committed writers in placement order. Two states with equal
-// keys admit exactly the same completions.
-func (e *engine) stateKey() string {
-	var b strings.Builder
-	b.Grow(16 + 4*len(e.objs))
-	b.WriteString(strconv.FormatUint(e.placed, 16))
-	for _, st := range e.stacks {
-		b.WriteByte('|')
-		for _, w := range st {
-			b.WriteString(strconv.Itoa(w.txn))
-			b.WriteByte(',')
+// zPlaced keys membership of transaction i in the placed set.
+func zPlaced(i int) uint64 {
+	return mix64(0xA5A5A5A500000000 | uint64(i))
+}
+
+// zStack keys the presence of transaction txn at depth d of object o's
+// committed-writer stack, so the accumulated XOR identifies the full stack
+// contents in order — the exact state the reference engine's string key
+// rendered.
+func zStack(obj, depth, txn int) uint64 {
+	return mix64(uint64(obj)<<16 | uint64(depth)<<8 | uint64(txn))
+}
+
+// fpTable is an open-addressing set of 64-bit fingerprints with epoch-based
+// O(1) clearing: a slot is occupied only when its epoch matches the current
+// one, so reset is a counter bump rather than a table wipe.
+type fpTable struct {
+	keys   []uint64
+	epochs []uint32
+	epoch  uint32
+	used   int
+}
+
+const fpTableMinSize = 1024
+
+func (t *fpTable) reset() {
+	if len(t.keys) == 0 {
+		t.keys = make([]uint64, fpTableMinSize)
+		t.epochs = make([]uint32, fpTableMinSize)
+	}
+	t.epoch++
+	if t.epoch == 0 { // epoch counter wrapped: actually clear once
+		for i := range t.epochs {
+			t.epochs[i] = 0
+		}
+		t.epoch = 1
+	}
+	t.used = 0
+}
+
+func (t *fpTable) seen(fp uint64) bool {
+	mask := uint64(len(t.keys) - 1)
+	for s := fp & mask; ; s = (s + 1) & mask {
+		if t.epochs[s] != t.epoch {
+			return false
+		}
+		if t.keys[s] == fp {
+			return true
 		}
 	}
-	return b.String()
+}
+
+func (t *fpTable) insert(fp uint64) {
+	if 2*t.used >= len(t.keys) {
+		t.growTable()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for s := fp & mask; ; s = (s + 1) & mask {
+		if t.epochs[s] != t.epoch {
+			t.epochs[s] = t.epoch
+			t.keys[s] = fp
+			t.used++
+			return
+		}
+		if t.keys[s] == fp {
+			return
+		}
+	}
+}
+
+func (t *fpTable) growTable() {
+	oldKeys, oldEpochs, oldEpoch := t.keys, t.epochs, t.epoch
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.epochs = make([]uint32, 2*len(oldKeys))
+	t.epoch = 1
+	mask := uint64(len(t.keys) - 1)
+	for i, ep := range oldEpochs {
+		if ep != oldEpoch {
+			continue
+		}
+		fp := oldKeys[i]
+		for s := fp & mask; ; s = (s + 1) & mask {
+			if t.epochs[s] != t.epoch {
+				t.epochs[s] = t.epoch
+				t.keys[s] = fp
+				break
+			}
+		}
+	}
 }

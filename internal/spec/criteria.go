@@ -83,34 +83,56 @@ func CheckTMS2(h *history.History, opts ...Option) Verdict {
 }
 
 func tms2Edges(h *history.History) [][2]history.TxnID {
+	ix := h.Index()
 	var edges [][2]history.TxnID
-	ids := h.Txns()
-	for _, a := range ids {
-		t1 := h.Txn(a)
-		if !t1.Committed() {
+	for ai := range ix.Txns {
+		t1 := &ix.Txns[ai]
+		if !t1.Committed || len(t1.Writes) == 0 || t1.TryCRes < 0 {
 			continue
 		}
-		w1 := t1.WriteSet()
-		if len(w1) == 0 {
-			continue
-		}
-		for _, b := range ids {
-			if a == b {
+		for bi := range ix.Txns {
+			if bi == ai {
 				continue
 			}
-			t2 := h.Txn(b)
-			if t2.TryCInv < 0 || t1.TryCRes < 0 || t1.TryCRes >= t2.TryCInv {
+			t2 := &ix.Txns[bi]
+			if t2.TryCInv < 0 || t1.TryCRes >= t2.TryCInv {
 				continue
 			}
-			for x := range t2.ReadSet() {
-				if w1[x] {
-					edges = append(edges, [2]history.TxnID{a, b})
-					break
-				}
+			if readsObjectWrittenBy(ix, t2, t1) {
+				edges = append(edges, [2]history.TxnID{t1.Info.ID, t2.Info.ID})
 			}
 		}
 	}
 	return edges
+}
+
+// writesObj reports whether the transaction installs a write to the dense
+// object index obj.
+func writesObj(t *history.IndexedTxn, obj int) bool {
+	for _, w := range t.Writes {
+		if w.Obj == obj {
+			return true
+		}
+		if w.Obj > obj { // Writes are sorted by object index
+			return false
+		}
+	}
+	return false
+}
+
+// readsObjectWrittenBy reports whether reader has a completed successful
+// read (Rset membership, own-write reads included) of an object writer
+// installs.
+func readsObjectWrittenBy(ix *history.Indexed, reader, writer *history.IndexedTxn) bool {
+	for _, op := range reader.Info.Ops {
+		if op.Kind != history.OpRead || op.Pending || op.Out != history.OutOK {
+			continue
+		}
+		if writesObj(writer, ix.ObjIndexOf(op.Obj)) {
+			return true
+		}
+	}
+	return false
 }
 
 // CheckRCO decides the read-commit-order opacity of Guerraoui, Henzinger
@@ -124,28 +146,24 @@ func CheckRCO(h *history.History, opts ...Option) Verdict {
 }
 
 func rcoEdges(h *history.History) [][2]history.TxnID {
+	ix := h.Index()
 	var edges [][2]history.TxnID
-	ids := h.Txns()
-	for _, m := range ids {
-		tm := h.Txn(m)
-		if !tm.Committed() || tm.TryCInv < 0 {
+	for mi := range ix.Txns {
+		tm := &ix.Txns[mi]
+		if !tm.Committed || tm.TryCInv < 0 || len(tm.Writes) == 0 {
 			continue
 		}
-		wm := tm.WriteSet()
-		if len(wm) == 0 {
-			continue
-		}
-		for _, k := range ids {
-			if k == m {
+		for ki := range ix.Txns {
+			if ki == mi {
 				continue
 			}
-			tk := h.Txn(k)
-			for _, op := range tk.Ops {
+			tk := &ix.Txns[ki]
+			for _, op := range tk.Info.Ops {
 				if op.Kind != history.OpRead || op.Pending || op.Out != history.OutOK {
 					continue
 				}
-				if wm[op.Obj] && op.ResIndex < tm.TryCInv {
-					edges = append(edges, [2]history.TxnID{k, m})
+				if op.ResIndex < tm.TryCInv && writesObj(tm, ix.ObjIndexOf(op.Obj)) {
+					edges = append(edges, [2]history.TxnID{tk.Info.ID, tm.Info.ID})
 					break
 				}
 			}
@@ -169,11 +187,15 @@ func CheckSerializability(h *history.History, opts ...Option) Verdict {
 }
 
 func decide(h *history.History, c Criterion, mode searchMode, o options) Verdict {
+	if o.parallelism > 1 {
+		return decideParallel(h, c, mode, o)
+	}
 	e, reject := newEngine(h, mode, o)
 	if reject != "" {
 		return Verdict{Criterion: c, Reason: reject}
 	}
 	ok, witness, reason, bailed, nodes := e.run()
+	e.release()
 	return Verdict{
 		Criterion:     c,
 		OK:            ok,
@@ -204,6 +226,7 @@ func AllDUSerializations(h *history.History, max int, fn func(*history.Seq) bool
 		return max > 0 && count >= max
 	}
 	e.search()
+	e.release()
 	return count
 }
 

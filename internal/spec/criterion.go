@@ -117,13 +117,28 @@ func (v Verdict) String() string {
 type Option func(*options)
 
 type options struct {
-	nodeLimit int
+	nodeLimit   int
+	parallelism int
 }
 
 // WithNodeLimit bounds the number of search nodes explored before the
-// checker gives up with an undecided verdict. Zero means unlimited.
+// checker gives up with an undecided verdict. Zero means unlimited. Under
+// WithParallelism the limit becomes a shared budget that all portfolio
+// workers draw from.
 func WithNodeLimit(n int) Option {
 	return func(o *options) { o.nodeLimit = n }
+}
+
+// WithParallelism fans the top-level branches of the serialization search
+// across n workers with first-witness-wins cancellation and a shared
+// atomic node budget. Values <= 1 keep the sequential search.
+//
+// Acceptance and refutation are unaffected by parallelism; the specific
+// witness, the node count, and — when a node limit is set — which checks
+// come back undecided at the budget boundary may vary between runs. The
+// sequential path stays bit-reproducible.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
 }
 
 func buildOptions(opts []Option) options {

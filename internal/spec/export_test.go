@@ -1,0 +1,9 @@
+package spec
+
+import "duopacity/internal/history"
+
+// CheckReference exposes the frozen PR 1 engine (reference.go) to the
+// differential tests and the fuzz target in package spec_test.
+func CheckReference(h *history.History, c Criterion, opts ...Option) Verdict {
+	return checkReference(h, c, buildOptions(opts))
+}

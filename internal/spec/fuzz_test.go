@@ -1,0 +1,156 @@
+package spec_test
+
+import (
+	"testing"
+
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// historyFromBytes decodes a fuzz payload into a well-formed history by
+// construction: bytes are consumed in pairs (transaction selector, action
+// selector). A transaction with a pending operation gets its response (the
+// action byte picks the outcome and read value); otherwise the action byte
+// picks a new invocation. Unconsumed choices (transaction already ended,
+// invocation after tryC) are skipped, so every byte string maps to some
+// well-formed history — including ones with pending operations,
+// commit-pending transactions, interleaved responses, aborted reads and
+// value collisions across writers (small value domain).
+func historyFromBytes(data []byte) *history.History {
+	const (
+		maxEvents = 44
+		numTxns   = 5
+		numObjs   = 3
+	)
+	objs := [numObjs]history.Var{"X", "Y", "Z"}
+	type txnState struct {
+		pending     bool
+		pendingKind history.OpKind
+		pendingObj  history.Var
+		pendingArg  history.Value
+		afterTry    bool
+		ended       bool
+	}
+	var states [numTxns + 1]txnState
+	var evs []history.Event
+	for p := 0; p+1 < len(data) && len(evs) < maxEvents; p += 2 {
+		k := history.TxnID(data[p]%numTxns) + 1
+		b := data[p+1]
+		t := &states[k]
+		if t.ended {
+			continue
+		}
+		if t.pending {
+			// Response to the pending invocation.
+			ev := history.Event{Kind: history.Res, Op: t.pendingKind, Txn: k, Obj: t.pendingObj, Arg: t.pendingArg}
+			switch t.pendingKind {
+			case history.OpRead:
+				if b%5 == 0 {
+					ev.Out = history.OutAbort
+					t.ended = true
+				} else {
+					ev.Out = history.OutOK
+					ev.Val = history.Value((b >> 2) % 4)
+				}
+			case history.OpWrite:
+				if b%7 == 0 {
+					ev.Out = history.OutAbort
+					t.ended = true
+				} else {
+					ev.Out = history.OutOK
+				}
+			case history.OpTryCommit:
+				if b%3 == 0 {
+					ev.Out = history.OutAbort
+				} else {
+					ev.Out = history.OutCommit
+				}
+				t.ended = true
+			default: // OpTryAbort
+				ev.Out = history.OutAbort
+				t.ended = true
+			}
+			t.pending = false
+			evs = append(evs, ev)
+			continue
+		}
+		if t.afterTry {
+			continue // no invocations after tryC/tryA
+		}
+		// New invocation.
+		ev := history.Event{Kind: history.Inv, Txn: k}
+		switch b % 10 {
+		case 0, 1, 2, 3:
+			ev.Op = history.OpRead
+			ev.Obj = objs[(b>>4)%numObjs]
+		case 4, 5, 6, 7:
+			ev.Op = history.OpWrite
+			ev.Obj = objs[(b>>4)%numObjs]
+			ev.Arg = history.Value((b>>6)%3 + 1)
+		case 8:
+			ev.Op = history.OpTryCommit
+			t.afterTry = true
+		default:
+			ev.Op = history.OpTryAbort
+			t.afterTry = true
+		}
+		t.pending = true
+		t.pendingKind = ev.Op
+		t.pendingObj = ev.Obj
+		t.pendingArg = ev.Arg
+		evs = append(evs, ev)
+	}
+	h, err := history.FromEvents(evs)
+	if err != nil {
+		// The state machine mirrors the well-formedness rules; this would
+		// be a bug in the generator.
+		panic("fuzz generator produced a malformed history: " + err.Error())
+	}
+	return h
+}
+
+// FuzzCheckerDifferential asserts verdict equality — OK, rejection reason,
+// undecided flag and explored node count — between the optimized engine
+// and the frozen reference engine, for every criterion, on histories
+// decoded from the fuzz payload. It also cross-checks the parallel
+// portfolio search against the sequential verdict whenever both decide.
+func FuzzCheckerDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 44, 0, 8, 1, 0, 1, 4, 0, 88, 1, 9})
+	f.Add([]byte{0, 4, 0, 1, 1, 0, 1, 6, 0, 8, 0, 1, 1, 8, 1, 1})
+	f.Add([]byte{2, 0, 2, 4, 0, 4, 0, 1, 1, 0, 1, 4, 2, 8, 2, 1, 0, 8, 0, 2, 1, 8, 1, 2})
+	f.Add([]byte{0, 4, 0, 1, 0, 8, 1, 0, 1, 4, 0, 1, 2, 0, 2, 4, 1, 8, 2, 8, 0, 1, 1, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := historyFromBytes(data)
+		if h.Len() == 0 {
+			t.Skip()
+		}
+		const limit = 30_000
+		for _, c := range spec.AllCriteria() {
+			got := spec.Check(h, c, spec.WithNodeLimit(limit))
+			want := spec.CheckReference(h, c, spec.WithNodeLimit(limit))
+			if got.OK != want.OK || got.Undecided != want.Undecided || got.Reason != want.Reason || got.Nodes != want.Nodes {
+				t.Fatalf("%s: engine disagreement\n  new: OK=%v undecided=%v nodes=%d reason=%q\n  ref: OK=%v undecided=%v nodes=%d reason=%q\nhistory:\n%s",
+					c, got.OK, got.Undecided, got.Nodes, got.Reason,
+					want.OK, want.Undecided, want.Nodes, want.Reason, h)
+			}
+			if got.OK && c == spec.DUOpacity {
+				if err := spec.VerifySerialization(h, got.Serialization); err != nil {
+					t.Fatalf("du-opacity witness rejected by the independent validator: %v\nhistory:\n%s", err, h)
+				}
+			}
+		}
+		// Portfolio: acceptance must match whenever both runs decide.
+		seq := spec.Check(h, spec.DUOpacity, spec.WithNodeLimit(limit))
+		par := spec.Check(h, spec.DUOpacity, spec.WithNodeLimit(limit), spec.WithParallelism(4))
+		if !seq.Undecided && !par.Undecided && seq.OK != par.OK {
+			t.Fatalf("portfolio disagreement: sequential OK=%v, parallel OK=%v\nhistory:\n%s",
+				seq.OK, par.OK, h)
+		}
+		if par.OK {
+			if err := spec.VerifySerialization(h, par.Serialization); err != nil {
+				t.Fatalf("portfolio witness rejected by the validator: %v\nhistory:\n%s", err, h)
+			}
+		}
+	})
+}

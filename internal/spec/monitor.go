@@ -120,29 +120,34 @@ func (m *Monitor) recheck() Verdict {
 // same transaction order and commit decisions, with transactions that
 // appeared since appended at the end (committing those whose tryC
 // committed in H). Returns nil when the previous order is no longer
-// constructible.
+// constructible. The rebuild runs on the indexed view — dense positions
+// and the slab Seq builder — so the monitor's per-response fast path stops
+// reconstructing transaction maps.
 func (m *Monitor) extendWitness(prev *history.Seq) *history.Seq {
-	inPrev := make(map[history.TxnID]bool, len(prev.Txns))
-	commit := make(map[history.TxnID]bool, m.h.NumTxns())
-	order := make([]history.TxnID, 0, m.h.NumTxns())
+	ix := m.h.Index()
+	n := ix.NumTxns()
+	inPrev := make([]bool, n)
+	order := make([]int, 0, n)
+	commit := make([]bool, 0, n)
 	for i := range prev.Txns {
 		st := &prev.Txns[i]
-		if m.h.Txn(st.ID) == nil {
+		ti := ix.TxnIndexOf(st.ID)
+		if ti < 0 {
 			return nil
 		}
-		inPrev[st.ID] = true
-		order = append(order, st.ID)
-		commit[st.ID] = st.Committed()
+		inPrev[ti] = true
+		order = append(order, ti)
+		commit = append(commit, st.Committed())
 	}
-	for _, k := range m.h.Txns() {
-		if !inPrev[k] {
-			order = append(order, k)
-			commit[k] = m.h.Txn(k).Committed() || m.h.Txn(k).CommitPending()
+	for ti := range ix.Txns {
+		if !inPrev[ti] {
+			it := &ix.Txns[ti]
+			order = append(order, ti)
+			commit = append(commit, it.Committed || it.CommitPending)
 		}
 	}
-	s, err := history.SeqFromHistory(m.h, order, commit)
-	if err != nil {
-		return nil
+	if len(order) != n {
+		return nil // duplicate transactions in the previous witness
 	}
-	return s
+	return ix.SeqForOrder(order, commit)
 }

@@ -1,0 +1,203 @@
+package spec
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"duopacity/internal/history"
+)
+
+// This file implements the parallel portfolio search behind
+// WithParallelism: the top-level branches of the serialization search —
+// the (transaction, commit-decision) moves available at the root after the
+// greedy phase — are fanned out across workers. Each worker owns a full
+// engine (scratch, memo) and explores whole branches; a shared atomic
+// budget meters the node limit across all workers and a shared flag
+// cancels the portfolio as soon as any branch finds a witness
+// (first-witness-wins).
+//
+// Acceptance is deterministic: a history is accepted iff some branch
+// contains a witness, and refutation requires every branch to be
+// exhausted. The specific witness returned, the node count, and — when a
+// node limit is set — which checks come back undecided near the budget
+// boundary may vary between runs; callers needing bit-reproducible
+// undecided verdicts should keep the sequential path.
+
+// rootMove is one top-level branch of the search.
+type rootMove struct {
+	i      int
+	commit bool
+}
+
+// rootMoves replicates the root search node's expansion — greedy phase,
+// then the available (transaction, commit) moves in sequential try order —
+// and restores the engine. A nil result means the greedy phase already
+// completes the serialization (or nothing is available) and the portfolio
+// has nothing to fan out.
+func (e *engine) rootMoves() []rootMove {
+	greedy := e.greedyPlace()
+	var moves []rootMove
+	if e.placed != e.all {
+		for m := e.all &^ e.placed; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if e.pred[i]&^e.placed != 0 {
+				continue
+			}
+			switch e.role[i] {
+			case roleMustCommit:
+				moves = append(moves, rootMove{i, true})
+			case roleMustAbort:
+				moves = append(moves, rootMove{i, false})
+			case roleEither:
+				moves = append(moves, rootMove{i, true}, rootMove{i, false})
+			}
+		}
+	}
+	for ; greedy > 0; greedy-- {
+		e.popTxn()
+	}
+	return moves
+}
+
+// searchBranch explores the single top-level branch mv to exhaustion: it
+// replays the root greedy phase, forces the branch's first move, and
+// searches the subtree.
+func (e *engine) searchBranch(mv rootMove) bool {
+	greedy := e.greedyPlace()
+	var found bool
+	if e.placed == e.all {
+		found = e.emit()
+	} else {
+		found = e.place(mv.i, mv.commit)
+	}
+	for ; greedy > 0; greedy-- {
+		e.popTxn()
+	}
+	return found
+}
+
+// decideParallel runs the portfolio search with o.parallelism workers.
+func decideParallel(h *history.History, c Criterion, mode searchMode, o options) Verdict {
+	root, reject := newEngine(h, mode, o)
+	if reject != "" {
+		return Verdict{Criterion: c, Reason: reject}
+	}
+	moves := root.rootMoves()
+	if len(moves) <= 1 {
+		// Nothing to fan out: the greedy phase decides the root alone, or a
+		// single branch would serialize the portfolio anyway.
+		ok, witness, reason, bailed, nodes := root.run()
+		root.release()
+		return Verdict{
+			Criterion: c, OK: ok, Serialization: witness,
+			Reason: reason, Undecided: bailed, Nodes: nodes,
+		}
+	}
+	root.release()
+
+	var (
+		stop   atomic.Bool
+		budget *atomic.Int64
+	)
+	if o.nodeLimit > 0 {
+		budget = new(atomic.Int64)
+		budget.Store(int64(o.nodeLimit))
+	}
+	workers := o.parallelism
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	// Claim granularity: small enough that the workers' in-flight chunks
+	// cannot strand more than half of a small budget, capped at 256 to
+	// keep the atomic traffic low on large budgets.
+	chunkSize := 256
+	if o.nodeLimit > 0 {
+		if c := o.nodeLimit / (2 * workers); c < chunkSize {
+			chunkSize = c
+			if chunkSize < 1 {
+				chunkSize = 1
+			}
+		}
+	}
+	type branchResult struct {
+		found   bool
+		bailed  bool
+		nodes   int
+		witness *history.Seq
+	}
+	results := make([]branchResult, len(moves))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One engine per worker: the analysis products (roles,
+			// predecessor masks, stack sizing, static checks) are
+			// branch-invariant, and the memo stays valid across branches of
+			// the same check — exactly as it does for the sequential search.
+			var we *engine
+			defer func() {
+				if we != nil {
+					we.release()
+				}
+			}()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= len(moves) || stop.Load() {
+					return
+				}
+				if we == nil {
+					var rej string
+					we, rej = newEngine(h, mode, o)
+					if rej != "" {
+						// Unreachable: the root engine validated the history.
+						return
+					}
+					we.stop = &stop
+					we.budget = budget
+					we.chunkSize = chunkSize
+				}
+				we.witness, we.bailed = nil, false
+				prevNodes := we.nodes
+				found := we.searchBranch(moves[b])
+				results[b] = branchResult{
+					found: found, bailed: we.bailed, nodes: we.nodes - prevNodes, witness: we.witness,
+				}
+				// Refund the unused part of the locally claimed budget chunk
+				// so short branches don't strand shared budget.
+				if budget != nil && we.chunk > 0 {
+					budget.Add(int64(we.chunk))
+					we.chunk = 0
+				}
+				if found {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	nodes := 0
+	bailed := false
+	var witness *history.Seq
+	for _, r := range results {
+		nodes += r.nodes
+		bailed = bailed || r.bailed
+		if witness == nil && r.found {
+			witness = r.witness
+		}
+	}
+	switch {
+	case witness != nil:
+		return Verdict{Criterion: c, OK: true, Serialization: witness, Nodes: nodes}
+	case bailed:
+		return Verdict{Criterion: c, Reason: "node limit exceeded", Undecided: true, Nodes: nodes}
+	default:
+		return Verdict{Criterion: c, Reason: "no serialization satisfies the criterion", Nodes: nodes}
+	}
+}

@@ -1,0 +1,103 @@
+package spec_test
+
+import (
+	"sync"
+	"testing"
+
+	"duopacity/internal/gen"
+	"duopacity/internal/history"
+	"duopacity/internal/litmus"
+	"duopacity/internal/spec"
+)
+
+type testHist struct {
+	name string
+	h    *history.History
+}
+
+// TestParallelPortfolioAgrees pins the portfolio search's semantics:
+// acceptance, rejection reasons of decided verdicts, and witness validity
+// all match the sequential search, across criteria, on accepted and
+// violating histories.
+func TestParallelPortfolioAgrees(t *testing.T) {
+	var histories []testHist
+	for seed := int64(1); seed <= 12; seed++ {
+		histories = append(histories, testHist{"gen", gen.DUOpaque(gen.Config{
+			Txns: 9, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5,
+			PAbort: 0.2, PNoTryC: 0.1, Relax: 5, Seed: seed,
+		})})
+	}
+	for _, c := range litmus.Cases() {
+		histories = append(histories, testHist{c.Name, c.H})
+	}
+	criteria := []spec.Criterion{
+		spec.DUOpacity, spec.FinalStateOpacity, spec.TMS2, spec.RCO,
+		spec.StrictSerializability, spec.Serializability,
+	}
+	for _, th := range histories {
+		for _, c := range criteria {
+			seq := spec.Check(th.h, c)
+			par := spec.Check(th.h, c, spec.WithParallelism(4))
+			if seq.OK != par.OK || seq.Undecided != par.Undecided || seq.Reason != par.Reason {
+				t.Errorf("%s/%s: portfolio disagrees with sequential:\n  seq OK=%v undecided=%v reason=%q\n  par OK=%v undecided=%v reason=%q",
+					th.name, c, seq.OK, seq.Undecided, seq.Reason, par.OK, par.Undecided, par.Reason)
+			}
+			if par.OK && c == spec.DUOpacity {
+				if err := spec.VerifySerialization(th.h, par.Serialization); err != nil {
+					t.Errorf("%s: portfolio witness invalid: %v", th.name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPortfolioBudgetNotStranded pins the shared-budget
+// accounting: with a node limit comfortably above the sequential search's
+// need, the portfolio must still decide — workers refund unused chunk
+// remainders between branches and size their claims to the budget, so
+// small limits aren't stranded in in-flight chunks.
+func TestParallelPortfolioBudgetNotStranded(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		h := gen.DUOpaque(gen.Config{
+			Txns: 10, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5, Relax: 5, Seed: 200 + seed,
+		})
+		seq := spec.CheckDUOpacity(h)
+		if seq.Undecided {
+			t.Fatalf("seed %d: unlimited sequential check undecided", seed)
+		}
+		limit := 100*seq.Nodes + 1000
+		par := spec.Check(h, spec.DUOpacity, spec.WithNodeLimit(limit), spec.WithParallelism(8))
+		if par.Undecided {
+			t.Errorf("seed %d: portfolio undecided at limit %d though sequential needed %d nodes",
+				seed, limit, seq.Nodes)
+		} else if par.OK != seq.OK {
+			t.Errorf("seed %d: portfolio OK=%v, sequential OK=%v", seed, par.OK, seq.OK)
+		}
+	}
+}
+
+// TestParallelPortfolioConcurrent exercises concurrent portfolio checks of
+// the same shared history from many goroutines — the checkfarm shape — so
+// `go test -race` covers the shared index, the engine pool and the
+// first-witness-wins cancellation together.
+func TestParallelPortfolioConcurrent(t *testing.T) {
+	h := gen.DUOpaque(gen.Config{
+		Txns: 10, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5, Relax: 5, Seed: 42,
+	})
+	want := spec.CheckDUOpacity(h)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				v := spec.Check(h, spec.DUOpacity, spec.WithParallelism(3))
+				if v.OK != want.OK {
+					t.Errorf("concurrent portfolio check flipped: OK=%v want %v", v.OK, want.OK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

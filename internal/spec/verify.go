@@ -18,6 +18,9 @@ import (
 // the constructions of package koenig (Lemma 1, Lemma 4, Theorem 5) are
 // validated with this function, so the exhaustive search and the
 // definition are implemented independently and checked against each other.
+// The real-time and local-serialization walks run on the history's cached
+// indexed view, which the online monitor relies on for cheap witness
+// revalidation at every response event.
 func VerifySerialization(h *history.History, s *history.Seq) error {
 	if err := s.MatchesCompletionOf(h); err != nil {
 		return fmt.Errorf("spec: not a completion: %w", err)
@@ -25,15 +28,30 @@ func VerifySerialization(h *history.History, s *history.Seq) error {
 	if err := s.Legal(); err != nil {
 		return fmt.Errorf("spec: not legal: %w", err)
 	}
-	// Condition 2: real-time order.
-	pos := make(map[history.TxnID]int, len(s.Txns))
-	for i := range s.Txns {
-		pos[s.Txns[i].ID] = i
-	}
-	for _, a := range h.Txns() {
-		for _, b := range h.Txns() {
-			if h.RealTimePrecedes(a, b) && pos[a] > pos[b] {
+	ix := h.Index()
+	// Condition 2: real-time order. Walking s in order, every transaction's
+	// real-time predecessors must already have been placed.
+	if ix.MasksValid {
+		var placedMask uint64
+		for i := range s.Txns {
+			bi := ix.TxnIndexOf(s.Txns[i].ID)
+			if missing := ix.RTPred[bi] &^ placedMask; missing != 0 {
+				a := firstTxnInMask(ix, missing)
+				b := s.Txns[i].ID
 				return fmt.Errorf("spec: real-time violation: T%d ≺RT T%d but T%d <S T%d", a, b, b, a)
+			}
+			placedMask |= uint64(1) << uint(bi)
+		}
+	} else {
+		pos := make(map[history.TxnID]int, len(s.Txns))
+		for i := range s.Txns {
+			pos[s.Txns[i].ID] = i
+		}
+		for _, a := range h.Txns() {
+			for _, b := range h.Txns() {
+				if h.RealTimePrecedes(a, b) && pos[a] > pos[b] {
+					return fmt.Errorf("spec: real-time violation: T%d ≺RT T%d but T%d <S T%d", a, b, b, a)
+				}
 			}
 		}
 	}
@@ -44,53 +62,71 @@ func VerifySerialization(h *history.History, s *history.Seq) error {
 		tryCInv int
 		val     history.Value
 	}
-	stacks := make(map[history.Var][]writer)
+	stacks := make([][]writer, ix.NumObjs())
 	for i := range s.Txns {
 		st := &s.Txns[i]
-		ht := h.Txn(st.ID)
-		overlay := make(map[history.Var]history.Value)
+		ti := ix.TxnIndexOf(st.ID)
+		it := &ix.Txns[ti]
+		ht := it.Info
 		for opIdx, op := range st.Ops {
-			switch op.Kind {
-			case history.OpWrite:
-				if !op.Pending && op.Out == history.OutOK {
-					overlay[op.Obj] = op.Arg
+			if op.Kind != history.OpRead || op.Pending || op.Out != history.OutOK {
+				continue
+			}
+			// Own-write reads are legal whenever consistent; consistency is
+			// part of s.Legal above. The index classifies them once.
+			if !isExternalRead(it, opIdx) {
+				continue
+			}
+			obj := ix.ObjIndexOf(op.Obj)
+			// The read's response index in h (the op exists in h because it
+			// returned a value).
+			resIdx := ht.Ops[opIdx].ResIndex
+			want := history.InitValue
+			for j := len(stacks[obj]) - 1; j >= 0; j-- {
+				w := stacks[obj][j]
+				if w.tryCInv >= 0 && w.tryCInv < resIdx {
+					want = w.val
+					break
 				}
-			case history.OpRead:
-				if op.Pending || op.Out != history.OutOK {
-					continue
-				}
-				if v, ok := overlay[op.Obj]; ok {
-					if v != op.Val {
-						return fmt.Errorf("spec: T%d op %d: own-write read %v, want %d", st.ID, opIdx, op, v)
-					}
-					continue
-				}
-				// The read's response index in h (the op exists in h
-				// because it returned a value).
-				resIdx := ht.Ops[opIdx].ResIndex
-				want := history.InitValue
-				for j := len(stacks[op.Obj]) - 1; j >= 0; j-- {
-					w := stacks[op.Obj][j]
-					if w.tryCInv >= 0 && w.tryCInv < resIdx {
-						want = w.val
-						break
-					}
-				}
-				if op.Val != want {
-					return fmt.Errorf(
-						"spec: T%d: %v is not legal in its local serialization (latest included committed write is %d)",
-						st.ID, op, want)
-				}
+			}
+			if op.Val != want {
+				return fmt.Errorf(
+					"spec: T%d: %v is not legal in its local serialization (latest included committed write is %d)",
+					st.ID, op, want)
 			}
 		}
 		if st.Committed() {
 			// The writer's tryC invocation index in h: -1 for synthetic
 			// completions, which cannot happen for committed transactions
 			// (a committed transaction's tryC was invoked in h).
-			for obj, val := range st.LastWrites() {
-				stacks[obj] = append(stacks[obj], writer{tryCInv: ht.TryCInv, val: val})
+			for _, w := range it.Writes {
+				stacks[w.Obj] = append(stacks[w.Obj], writer{tryCInv: it.TryCInv, val: w.Val})
 			}
 		}
 	}
 	return nil
+}
+
+// isExternalRead reports whether the read at op position opIdx of the
+// transaction is one of its external reads (not satisfied by an earlier
+// own write).
+func isExternalRead(it *history.IndexedTxn, opIdx int) bool {
+	res := it.Info.Ops[opIdx].ResIndex
+	for _, r := range it.Reads {
+		if r.ResIdx == res {
+			return true
+		}
+	}
+	return false
+}
+
+// firstTxnInMask returns the identifier of the lowest-indexed transaction
+// in the mask.
+func firstTxnInMask(ix *history.Indexed, m uint64) history.TxnID {
+	for i := range ix.TxnIDs {
+		if m&(uint64(1)<<uint(i)) != 0 {
+			return ix.TxnIDs[i]
+		}
+	}
+	return history.InitTxn
 }
