@@ -6,6 +6,7 @@
 //
 //	ducheck [-criteria du,opacity,...] [-witness] file...
 //	ducheck -parallel [-jobs N] [-portfolio N] file...
+//	ducheck -follow [-criteria du,opacity,finalstate] [-]
 //
 // With several files (or -parallel), every file is checked against every
 // requested criterion; -parallel shards the batch across -jobs workers
@@ -15,11 +16,20 @@
 // serialization search across workers — the right knob when one large
 // history dominates.
 //
+// -follow monitors a history as it is produced: events are read from
+// stdin line by line (same text format) and fed to an online monitor per
+// requested criterion, printing a verdict column after every response
+// event — so a violation is reported at the exact event that caused it,
+// while the producer is still running. Only the monitorable criteria
+// (du, opacity, finalstate) are allowed with -follow. Malformed lines
+// are reported on stderr and skipped; the monitors are unaffected.
+//
 // Exit status: 0 if every requested criterion accepts every history, 1 if
 // any rejects, 2 on input errors.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"flag"
@@ -64,10 +74,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	jobs := fs.Int("jobs", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	portfolio := fs.Int("portfolio", 0,
 		"fan each check's top-level search branches across this many workers (spec.WithParallelism; useful for one hard history, combine with -parallel for many)")
+	follow := fs.Bool("follow", false,
+		"monitor events from stdin as they arrive (streaming ingestion; criteria limited to du, opacity, finalstate)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
-	if fs.NArg() < 1 {
+	if !*follow && fs.NArg() < 1 {
 		return 2, fmt.Errorf("usage: ducheck [flags] <file|->...")
 	}
 
@@ -78,6 +90,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 			return 2, fmt.Errorf("unknown criterion %q", name)
 		}
 		criteria = append(criteria, c)
+	}
+
+	if *follow {
+		if fs.NArg() > 1 || (fs.NArg() == 1 && fs.Arg(0) != "-") {
+			return 2, fmt.Errorf("-follow reads events from stdin; no file arguments allowed")
+		}
+		// With the default criteria list, follow only the monitorable
+		// ones; an explicit -criteria must name monitorable criteria.
+		criteriaSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "criteria" {
+				criteriaSet = true
+			}
+		})
+		if !criteriaSet {
+			criteria = []spec.Criterion{spec.DUOpacity, spec.Opacity, spec.FinalStateOpacity}
+		}
+		return runFollow(criteria, *nodeLimit, stdin, stdout)
 	}
 
 	paths := fs.Args()
@@ -139,6 +169,84 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 			if *witness && v.OK && v.Serialization != nil {
 				printWitness(stdout, v.Serialization)
 			}
+		}
+	}
+	if violations > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runFollow is the streaming mode: events arrive on stdin one line at a
+// time and are certified the moment they land, one online monitor per
+// criterion. After every response event a status column is printed per
+// criterion (ok, VIOLATED or undecided); a violation is latched (prefix
+// closure), so the exit status reflects whether any monitor ever
+// rejected. Malformed lines are reported on stderr and skipped; the
+// monitors are left untouched by them.
+func runFollow(criteria []spec.Criterion, nodeLimit int, stdin io.Reader, stdout io.Writer) (int, error) {
+	monitors := make([]*spec.Monitor, len(criteria))
+	for i, c := range criteria {
+		m, err := spec.NewMonitor(c, spec.WithNodeLimit(nodeLimit))
+		if err != nil {
+			return 2, fmt.Errorf("-follow: %w", err)
+		}
+		monitors[i] = m
+	}
+	sc := bufio.NewScanner(stdin)
+	lineNo := 0
+	idx := 0
+	for sc.Scan() {
+		lineNo++
+		evs, err := histio.ParseEvents(sc.Text())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ducheck: line %d: %v (skipped)\n", lineNo, err)
+			continue
+		}
+		for _, e := range evs {
+			// Well-formedness is criterion-independent, so either every
+			// monitor accepts the event or the first rejects it with the
+			// others untouched; rejection is side-effect-free either way.
+			var verdicts []spec.Verdict
+			rejected := false
+			for _, m := range monitors {
+				v, err := m.Append(e)
+				if err != nil {
+					rejected = true
+					fmt.Fprintf(os.Stderr, "ducheck: line %d: %v (skipped)\n", lineNo, err)
+					break
+				}
+				verdicts = append(verdicts, v)
+			}
+			if rejected {
+				break
+			}
+			fmt.Fprintf(stdout, "%4d  %-28v", idx, e)
+			if e.Kind == history.Res {
+				for i, v := range verdicts {
+					status := "ok"
+					switch {
+					case v.Undecided:
+						status = "undecided"
+					case !v.OK:
+						status = "VIOLATED"
+					}
+					fmt.Fprintf(stdout, "  %s:%s", criteria[i], status)
+				}
+			}
+			fmt.Fprintln(stdout)
+			idx++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 2, err
+	}
+	violations := 0
+	for _, m := range monitors {
+		v := m.Verdict()
+		fmt.Fprintln(stdout, v)
+		if !v.OK && !v.Undecided {
+			violations++
 		}
 	}
 	if violations > 0 {

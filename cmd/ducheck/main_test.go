@@ -99,6 +99,77 @@ func TestRunParallelBatch(t *testing.T) {
 	}
 }
 
+func TestFollowAcceptsStream(t *testing.T) {
+	src := "write 1 X 1\ncommit 1\nread 2 X 1\ncommit 2\n"
+	var out strings.Builder
+	code, err := run([]string{"-follow"}, strings.NewReader(src), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"du-opacity:ok", "du-opacity: OK", "opacity: OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFollowLatchesViolationAtTheEvent(t *testing.T) {
+	// The Figure-4 shape: the dirty read is reported the moment its
+	// response arrives, and the verdict stays latched.
+	src := "write 1 X 1\nread 2 X 1\ncommit 2\ncommit 1\n"
+	var out strings.Builder
+	code, err := run([]string{"-follow", "-criteria", "du", "-"}, strings.NewReader(src), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	lines := strings.Split(out.String(), "\n")
+	first := -1
+	for i, l := range lines {
+		if strings.Contains(l, "VIOLATED") {
+			first = i
+			break
+		}
+	}
+	if first < 0 || !strings.Contains(lines[first], "read_2(X)->1") {
+		t.Fatalf("violation not reported at the dirty read's response:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "du-opacity: violated") {
+		t.Fatalf("missing final verdict:\n%s", out.String())
+	}
+}
+
+func TestFollowSkipsMalformedLines(t *testing.T) {
+	// A malformed line and an ill-formed event are skipped; the stream
+	// continues and the verdict reflects only the valid events.
+	src := "write 1 X 1\nnonsense\nres tryc 2 C\ncommit 1\nread 2 X 1\ncommit 2\n"
+	var out strings.Builder
+	code, err := run([]string{"-follow", "-criteria", "du"}, strings.NewReader(src), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "du-opacity: OK") {
+		t.Fatalf("missing final verdict:\n%s", out.String())
+	}
+}
+
+func TestFollowRejectsUnmonitorableCriteria(t *testing.T) {
+	if code, err := run([]string{"-follow", "-criteria", "tms2"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
+		t.Fatalf("tms2 with -follow: code=%d err=%v, want input error", code, err)
+	}
+	if code, err := run([]string{"-follow", "somefile"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
+		t.Fatalf("file argument with -follow: code=%d err=%v, want input error", code, err)
+	}
+}
+
 func TestRunInputErrors(t *testing.T) {
 	if code, err := run([]string{"-criteria", "nope", "-"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
 		t.Error("unknown criterion should be an input error")

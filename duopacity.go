@@ -23,6 +23,18 @@
 //	rec := duopacity.NewRecorder(eng)
 //	// ... run transactions via rec.Begin() / rec.Atomically ...
 //	v := duopacity.CheckDUOpacity(rec.History())
+//
+// Histories being produced are first-class: a Stream ingests events one
+// at a time with O(1)-amortized validation and an incrementally
+// maintained index, a Monitor certifies a stream online (witness reuse
+// makes a monitored stream cost amortized O(1) checks per event instead
+// of a batch re-check), and a Recorder's Tap feeds a live execution
+// straight into a Monitor so violations are caught while the STM is
+// still running:
+//
+//	m, _ := duopacity.NewMonitor(duopacity.DUOpacity)
+//	rec.Tap(func(e duopacity.Event) { m.Append(e) })
+//	// ... run transactions; m.Verdict() is always current ...
 package duopacity
 
 import (
@@ -59,6 +71,9 @@ type (
 	Seq = history.Seq
 	// Builder constructs histories fluently.
 	Builder = history.Builder
+	// Stream ingests a history as it is produced: per-event validation
+	// and incremental indexing.
+	Stream = history.Stream
 )
 
 // Checking types (see internal/spec).
@@ -108,6 +123,8 @@ type (
 	CertConfig = harness.CertConfig
 	// CertStats aggregates certification outcomes.
 	CertStats = harness.CertStats
+	// OnlineReport is the outcome of one online-monitored episode.
+	OnlineReport = harness.OnlineReport
 )
 
 // ErrAborted is returned by transactional operations of aborted
@@ -116,6 +133,10 @@ var ErrAborted = stm.ErrAborted
 
 // NewBuilder returns an empty history builder.
 func NewBuilder() *Builder { return history.NewBuilder() }
+
+// NewStream returns an empty history stream: append events one at a time
+// with O(1)-amortized validation, snapshot with Stream.History.
+func NewStream() *Stream { return history.NewStream() }
 
 // FromEvents validates evs as a well-formed history.
 func FromEvents(evs []Event) (*History, error) { return history.FromEvents(evs) }
@@ -139,6 +160,15 @@ func CheckFinalStateOpacity(h *History, opts ...CheckOption) Verdict {
 
 // WithNodeLimit bounds a check's search.
 func WithNodeLimit(n int) CheckOption { return spec.WithNodeLimit(n) }
+
+// WithParallelism fans a check's top-level search branches across n
+// workers.
+func WithParallelism(n int) CheckOption { return spec.WithParallelism(n) }
+
+// WithTMS2AbortedReaderExemption drops TMS2 conflict-order edges sourced
+// at aborted readers (the alternative reading of the paper's informal
+// TMS2 statement; see internal/spec for the interpretation question).
+func WithTMS2AbortedReaderExemption() CheckOption { return spec.WithTMS2AbortedReaderExemption() }
 
 // VerifySerialization checks, without search, that s is a du-opaque
 // serialization of h.
@@ -184,6 +214,12 @@ func RunWorkload(w Workload) (RunStats, error) { return harness.Run(w) }
 // criteria.
 func Certify(cfg CertConfig, criteria []Criterion) (CertStats, error) {
 	return harness.Certify(cfg, criteria)
+}
+
+// RunMonitored executes a workload with an online monitor certifying
+// every event as it is recorded (certify-while-recording).
+func RunMonitored(w Workload, c Criterion, nodeLimit int, interleaved bool) (OnlineReport, error) {
+	return harness.RunMonitored(w, c, nodeLimit, interleaved)
 }
 
 // ParseHistory reads the text format of cmd/ducheck.

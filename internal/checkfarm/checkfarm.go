@@ -107,7 +107,7 @@ func CertifyStream(ctx context.Context, cfg harness.CertConfig, criteria []spec.
 // results in index order through emit, holding back workers that get more
 // than a bounded window ahead of the stream. Any error — from run, emit
 // or the context — wakes every window-blocked worker before returning.
-func streamOrdered(ctx context.Context, n, jobs int, run func(ep int) (harness.EpisodeReport, error), emit func(ep int, r harness.EpisodeReport) error) error {
+func streamOrdered[T any](ctx context.Context, n, jobs int, run func(ep int) (T, error), emit func(ep int, r T) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -123,7 +123,7 @@ func streamOrdered(ctx context.Context, n, jobs int, run func(ep int) (harness.E
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
 		next     int // next episode to emit
-		pending  = make(map[int]harness.EpisodeReport, window)
+		pending  = make(map[int]T, window)
 		firstErr error
 		stopping bool
 	)
@@ -201,6 +201,30 @@ func streamOrdered(ctx context.Context, n, jobs int, run func(ep int) (harness.E
 		return ferr
 	}
 	return err
+}
+
+// CertifyOnline is the online certification mode of the farm: each
+// episode runs with a spec.Monitor attached to its recorder
+// (harness.CertifyEpisodeOnline), so events stream through the
+// incremental checker as the engine produces them instead of being
+// materialized into histories and batch-checked afterwards. Episodes are
+// sharded over jobs workers and folded strictly in episode order, so the
+// aggregated statistics are deterministic whenever the per-episode
+// histories are (always under cfg.Interleaved). jobs <= 0 uses
+// GOMAXPROCS.
+func CertifyOnline(ctx context.Context, cfg harness.CertConfig, c spec.Criterion, jobs int) (harness.OnlineStats, error) {
+	cfg = cfg.WithDefaults()
+	stats := harness.OnlineStats{Engine: cfg.Workload.Engine, Criterion: c}
+	err := streamOrdered(ctx, cfg.Episodes, jobs, func(ep int) (harness.OnlineReport, error) {
+		return harness.CertifyEpisodeOnline(cfg, ep, c)
+	}, func(_ int, r harness.OnlineReport) error {
+		stats.AddEpisode(r)
+		return nil
+	})
+	if err != nil {
+		return harness.OnlineStats{Engine: cfg.Workload.Engine, Criterion: c}, err
+	}
+	return stats, nil
 }
 
 // Certify is harness.Certify sharded over jobs workers: episodes are

@@ -52,6 +52,14 @@ func TestTMS2AbortedReaderGolden(t *testing.T) {
 	if tms2.OK || tms2.Undecided {
 		t.Fatalf("implemented TMS2 reading must reject the golden history, got %s", tms2)
 	}
+	// ...and the aborted-reader exemption (the knob that makes the open
+	// interpretation question executable) flips the verdict to accept:
+	// with the conflict-order edge sourced at aborted reader T12 dropped,
+	// the completion serializes T12 before the overtaking writer T13.
+	exempt := spec.CheckTMS2(h, spec.WithTMS2AbortedReaderExemption())
+	if !exempt.OK {
+		t.Fatalf("TMS2 with the aborted-reader exemption must accept the golden history, got %s", exempt)
+	}
 	// ...while the paper's deferred-update condition and its relatives
 	// accept: the completion serializes the aborted reader before the
 	// overtaking writer.

@@ -165,12 +165,21 @@ func Run(w Workload) (RunStats, error) {
 // values are globally unique, so the resulting history satisfies the
 // unique-writes hypothesis of Theorem 11 and checks fast.
 func RunRecorded(w Workload) (*history.History, RunStats, error) {
+	return runRecorded(w, nil)
+}
+
+// runRecorded is RunRecorded with an optional event tap attached to the
+// recorder before any transaction runs (the online-certification hook).
+func runRecorded(w Workload, tap func(history.Event)) (*history.History, RunStats, error) {
 	w = w.withDefaults()
 	eng, err := engines.New(w.Engine, w.Objects)
 	if err != nil {
 		return nil, RunStats{}, err
 	}
 	rec := recorder.New(eng)
+	if tap != nil {
+		rec.Tap(tap)
+	}
 	plans := plan(w)
 	var commits, aborts, failed atomic.Int64
 	var vals atomic.Int64

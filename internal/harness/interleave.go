@@ -25,12 +25,23 @@ import (
 // lock spans the whole transaction, this degenerates to the serial
 // execution the real engine produces anyway.
 func RunInterleaved(w Workload) (*history.History, RunStats, error) {
+	return runInterleaved(w, nil)
+}
+
+// runInterleaved is RunInterleaved with an optional event tap attached to
+// the recorder before the schedule starts (the online-certification
+// hook); the tap observes the deterministic event order as it is
+// produced.
+func runInterleaved(w Workload, tap func(history.Event)) (*history.History, RunStats, error) {
 	w = w.withDefaults()
 	eng, err := engines.New(w.Engine, w.Objects)
 	if err != nil {
 		return nil, RunStats{}, err
 	}
 	rec := recorder.New(eng)
+	if tap != nil {
+		rec.Tap(tap)
+	}
 	plans := plan(w)
 
 	threads := make([]*vthread, w.Goroutines)

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// OnlineReport is the outcome of one monitored episode: the execution was
+// certified while it ran, event by event, through a spec.Monitor attached
+// to the recorder's tap — no history is materialized between recording
+// and checking.
+type OnlineReport struct {
+	// Verdict is the monitor's final verdict. Because the monitorable
+	// criteria are prefix-latched, a violation identifies the exact
+	// response event at which the execution became uncertifiable.
+	Verdict spec.Verdict
+	// ViolationAt is the index of the event that latched the violation,
+	// or -1 when the verdict is not a latched violation.
+	ViolationAt int
+	// Events is the number of events observed.
+	Events int
+	// Searches and FastHits are the monitor's cost counters: full
+	// serialization searches vs. incremental witness reuses.
+	Searches, FastHits int
+	// Stats summarizes the underlying run.
+	Stats RunStats
+}
+
+// RunMonitored executes the workload with an online monitor certifying
+// every event as it is recorded — the live-monitor capability: the
+// verdict is available the moment the run ends (and the violating event
+// is identified the moment it happens), instead of replaying the episode
+// through a batch check afterwards. interleaved selects the
+// deterministic stepwise scheduler (reproducible event order) over real
+// goroutines; nodeLimit <= 0 leaves the per-check search unbounded.
+//
+// The monitor runs inside the recorder's capture mutex, so the monitored
+// engine's operations serialize through the check; use RunRecorded plus a
+// batch check when measuring engine throughput.
+func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool) (OnlineReport, error) {
+	var opts []spec.Option
+	if nodeLimit > 0 {
+		opts = append(opts, spec.WithNodeLimit(nodeLimit))
+	}
+	m, err := spec.NewMonitor(c, opts...)
+	if err != nil {
+		return OnlineReport{}, err
+	}
+	violationAt := -1
+	events := 0
+	tap := func(e history.Event) {
+		v, aerr := m.Append(e)
+		if aerr != nil {
+			// The recorder only emits matched, well-ordered events.
+			panic("harness: recorded event rejected by the monitor: " + aerr.Error())
+		}
+		if violationAt < 0 && !v.OK && !v.Undecided {
+			violationAt = events
+		}
+		events++
+	}
+	var stats RunStats
+	if interleaved {
+		_, stats, err = runInterleaved(w, tap)
+	} else {
+		_, stats, err = runRecorded(w, tap)
+	}
+	if err != nil {
+		return OnlineReport{}, err
+	}
+	searches, fastHits := m.Stats()
+	return OnlineReport{
+		Verdict:     m.Verdict(),
+		ViolationAt: violationAt,
+		Events:      events,
+		Searches:    searches,
+		FastHits:    fastHits,
+		Stats:       stats,
+	}, nil
+}
+
+// CertifyEpisodeOnline runs episode ep of the certification described by
+// cfg through the online monitor instead of the record-then-check
+// pipeline: the episode's events are fed through the monitor's stream as
+// they occur and never materialized into a batch history. Episodes are
+// seeded exactly as CertifyEpisode seeds them, so online and batch
+// certification cover the same executions. Call cfg.WithDefaults first
+// when bypassing CertifyOnline aggregation.
+func CertifyEpisodeOnline(cfg CertConfig, ep int, c spec.Criterion) (OnlineReport, error) {
+	w := cfg.Workload
+	w.Seed = cfg.Workload.Seed + int64(ep)*episodeSeedStride
+	return RunMonitored(w, c, cfg.NodeLimit, cfg.Interleaved)
+}
+
+// OnlineStats aggregates online certification outcomes.
+type OnlineStats struct {
+	Engine    string
+	Criterion spec.Criterion
+	Episodes  int
+	Accepted  int
+	Rejected  int
+	Undecided int
+	// FirstReason records the first rejection reason.
+	FirstReason string
+	// Events, Searches and FastHits accumulate the monitors' cost
+	// counters across episodes.
+	Events, Searches, FastHits int64
+}
+
+// AddEpisode folds one monitored episode into the statistics. Folding
+// reports in episode order keeps FirstReason deterministic.
+func (s *OnlineStats) AddEpisode(r OnlineReport) {
+	s.Episodes++
+	v := r.Verdict
+	switch {
+	case v.Undecided:
+		s.Undecided++
+	case v.OK:
+		s.Accepted++
+	default:
+		s.Rejected++
+		if s.FirstReason == "" {
+			s.FirstReason = v.Reason
+		}
+	}
+	s.Events += int64(r.Events)
+	s.Searches += int64(r.Searches)
+	s.FastHits += int64(r.FastHits)
+}
+
+// FormatOnlineTable renders online certification statistics.
+func FormatOnlineTable(s OnlineStats) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "engine %s, %s (online): %d episodes\n", s.Engine, s.Criterion, s.Episodes)
+	fmt.Fprintln(tw, "accepted\trejected\tundecided\tevents\tsearches\tfast-hits")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\n",
+		s.Accepted, s.Rejected, s.Undecided, s.Events, s.Searches, s.FastHits)
+	if s.FirstReason != "" {
+		fmt.Fprintf(tw, "first reason: %s\n", s.FirstReason)
+	}
+	_ = tw.Flush()
+	return b.String()
+}

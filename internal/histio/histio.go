@@ -81,6 +81,22 @@ func formatEvent(w io.Writer, e history.Event) error {
 	return err
 }
 
+// ParseEvents parses one line of the text format into its events: an
+// event line yields one event, a shorthand line yields the adjacent
+// invocation/response pair, and a comment or blank line yields none. It
+// is the line-level entry used by streaming consumers (ducheck -follow)
+// that feed events into a history.Stream or spec.Monitor as they arrive.
+func ParseEvents(line string) ([]history.Event, error) {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	return parseLine(fields)
+}
+
 // Parse reads a history from r.
 func Parse(r io.Reader) (*history.History, error) {
 	var evs []history.Event
@@ -88,15 +104,7 @@ func Parse(r io.Reader) (*history.History, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		es, err := parseLine(fields)
+		es, err := ParseEvents(sc.Text())
 		if err != nil {
 			return nil, fmt.Errorf("histio: line %d: %w", lineNo, err)
 		}

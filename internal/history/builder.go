@@ -9,33 +9,26 @@ import "fmt"
 // arbitrary distance to express concurrency.
 //
 // Builder methods panic on malformed sequences: a malformed fixture is a
-// programming error, not an input error. Use FromEvents for untrusted
-// input.
+// programming error, not an input error. Use FromEvents (or a Stream) for
+// untrusted input.
+//
+// Builder is a thin wrapper over the streaming ingestion core (Stream),
+// so fixtures are validated and indexed exactly as streamed input.
 type Builder struct {
-	evs []Event
-	// chk mirrors the per-transaction validation state so that errors are
-	// raised at the offending call site.
-	chk map[TxnID]*TxnInfo
+	s *Stream
 }
 
-// NewBuilder returns an empty Builder.
+// NewBuilder returns an empty Builder. Like the other batch wrappers it
+// skips live index maintenance: the histories it finalizes build their
+// index lazily on first use.
 func NewBuilder() *Builder {
-	return &Builder{chk: make(map[TxnID]*TxnInfo)}
+	return &Builder{s: newStreamOver(&History{})}
 }
 
 func (b *Builder) push(e Event) *Builder {
-	if e.Txn == InitTxn {
-		panic("history: transaction id 0 is reserved for T_0")
+	if err := b.s.Append(e); err != nil {
+		panic(fmt.Sprintf("history: builder: %v", err))
 	}
-	t := b.chk[e.Txn]
-	if t == nil {
-		t = &TxnInfo{ID: e.Txn, First: len(b.evs), TryCInv: -1, TryCRes: -1}
-		b.chk[e.Txn] = t
-	}
-	if err := t.extend(len(b.evs), e); err != nil {
-		panic(fmt.Sprintf("history: builder event %d (%s): %v", len(b.evs), e, err))
-	}
-	b.evs = append(b.evs, e)
 	return b
 }
 
@@ -120,15 +113,11 @@ func (b *Builder) Abort(k TxnID) *Builder {
 }
 
 // Len returns the number of events emitted so far.
-func (b *Builder) Len() int { return len(b.evs) }
+func (b *Builder) Len() int { return b.s.Len() }
 
 // History finalizes the builder into an immutable History. The builder may
 // continue to be used afterwards; later events do not affect the returned
 // history.
 func (b *Builder) History() *History {
-	h, err := FromEvents(b.evs)
-	if err != nil {
-		panic("history: builder produced malformed history: " + err.Error())
-	}
-	return h
+	return b.s.History()
 }

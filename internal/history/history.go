@@ -9,7 +9,8 @@ import (
 
 // History is a well-formed (finite) sequence of invocation and response
 // events. The zero value is the empty history. Histories are immutable once
-// built; construct them with a Builder or FromEvents.
+// built; construct them with a Builder, FromEvents, or incrementally with a
+// Stream.
 type History struct {
 	events []Event
 
@@ -19,7 +20,10 @@ type History struct {
 	txns map[TxnID]*TxnInfo
 	ids  []TxnID // transaction ids in order of first appearance
 
-	// idx caches the dense Indexed view, built lazily on first use (Index).
+	// idx caches the dense Indexed view. Histories built by NewStream
+	// carry the incrementally maintained live index; batch-built
+	// histories (FromEvents, Prefix, Builder, snapshots) build it lazily
+	// on first use (Index).
 	idxOnce sync.Once
 	idx     *Indexed
 }
@@ -31,9 +35,14 @@ type History struct {
 // (each invocation is last in H|k or immediately followed by its matching
 // response), has no events after A_k or C_k, and tryC/tryA invocations are
 // not followed by further invocations of the same transaction.
+//
+// FromEvents is the batch entry to the stream core (Stream): validation
+// is the same incremental pass Append performs per event; the index stays
+// lazy (built on first use) since many batch-built histories are never
+// checked.
 func FromEvents(evs []Event) (*History, error) {
 	h := &History{events: append([]Event(nil), evs...)}
-	if err := h.analyze(); err != nil {
+	if err := newStreamOver(h).replay(); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -76,7 +85,7 @@ func (h *History) Prefix(n int) *History {
 		panic(fmt.Sprintf("history: prefix length %d out of range [0,%d]", n, len(h.events)))
 	}
 	p := &History{events: h.events[:n:n]}
-	if err := p.analyze(); err != nil {
+	if err := newStreamOver(p).replay(); err != nil {
 		// A prefix of a well-formed history is always well-formed.
 		panic(fmt.Sprintf("history: prefix unexpectedly malformed: %v", err))
 	}
@@ -173,25 +182,4 @@ func (h *History) Vars() []Var {
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
 	return vars
-}
-
-// analyze builds the per-transaction views and validates well-formedness.
-func (h *History) analyze() error {
-	h.txns = make(map[TxnID]*TxnInfo)
-	h.ids = nil
-	for i, e := range h.events {
-		if e.Txn == InitTxn {
-			return fmt.Errorf("history: event %d (%s): transaction id 0 is reserved for T_0", i, e)
-		}
-		t := h.txns[e.Txn]
-		if t == nil {
-			t = &TxnInfo{ID: e.Txn, First: i, TryCInv: -1, TryCRes: -1}
-			h.txns[e.Txn] = t
-			h.ids = append(h.ids, e.Txn)
-		}
-		if err := t.extend(i, e); err != nil {
-			return fmt.Errorf("history: event %d (%s): %w", i, e, err)
-		}
-	}
-	return nil
 }

@@ -1,18 +1,25 @@
 package history
 
-import (
-	"sort"
-)
+import "sort"
+
+// maxMaskTxns bounds the bitmask views of the index: histories with more
+// transactions carry no masks (MasksValid reports which case holds). It
+// matches the exact checkers' 64-transaction limit.
+const maxMaskTxns = 64
 
 // Indexed is the dense, precomputed view of a history that the decision
 // procedures (package spec), the proof constructions (package koenig) and
 // the online monitor share. It replaces the per-check rebuilding of
 // map[Var]int / map[TxnID]int with indexes computed once per History:
 // histories are immutable, so the view is cached on the History and safe
-// to share across goroutines.
+// to share across goroutines. Stream-built histories maintain the view
+// incrementally as events are appended; buildIndex below is the one-shot
+// batch construction used for snapshots, and the two are pinned equal by
+// the stream differential tests.
 //
 // Transaction indexes follow first-appearance order (the order of
-// History.Txns); object indexes follow the sorted order of History.Vars.
+// History.Txns), and so do object indexes — both admit append-only
+// incremental updates, unlike a sorted object order.
 type Indexed struct {
 	H *History
 
@@ -83,8 +90,10 @@ type IndexedWrite struct {
 	Val Value
 }
 
-// Index returns the history's indexed view, building it on first use. The
-// view is cached: repeated checks of the same History share one index.
+// Index returns the history's indexed view. Histories built by NewStream
+// carry the incrementally maintained index; batch-built histories build
+// it here on first use. The view is cached: repeated checks of the same
+// History share one index.
 func (h *History) Index() *Indexed {
 	h.idxOnce.Do(func() { h.idx = buildIndex(h) })
 	return h.idx
@@ -115,7 +124,8 @@ func (ix *Indexed) ObjIndexOf(v Var) int {
 func buildIndex(h *History) *Indexed {
 	ix := &Indexed{H: h}
 
-	// Objects, sorted (matching History.Vars).
+	// Objects, in first-appearance order (matching the stream's
+	// incremental registration).
 	seen := make(map[Var]bool)
 	for _, e := range h.events {
 		if e.Op == OpRead || e.Op == OpWrite {
@@ -125,7 +135,6 @@ func buildIndex(h *History) *Indexed {
 			}
 		}
 	}
-	sort.Slice(ix.Objs, func(i, j int) bool { return ix.Objs[i] < ix.Objs[j] })
 	ix.objIdx = make(map[Var]int, len(ix.Objs))
 	for i, v := range ix.Objs {
 		ix.objIdx[v] = i
@@ -200,7 +209,7 @@ func buildIndex(h *History) *Indexed {
 		sort.Slice(it.Writes, func(a, b int) bool { return it.Writes[a].Obj < it.Writes[b].Obj })
 	}
 
-	if n <= 64 {
+	if n <= maxMaskTxns {
 		ix.MasksValid = true
 		ix.RTPred = make([]uint64, n)
 		ix.Writers = make([]uint64, len(ix.Objs))

@@ -1,0 +1,277 @@
+package history
+
+import "fmt"
+
+// Stream ingests a history as it is being produced: events are appended
+// one at a time, each validated for well-formedness in O(1) amortized
+// time against per-transaction state (the same checks FromEvents performs
+// over a complete event log), while the per-transaction views and the
+// dense Indexed view are maintained incrementally instead of rebuilt.
+//
+// A rejected event leaves the stream completely untouched — rejection is
+// side-effect-free, so a monitor can refuse one malformed event and keep
+// consuming the rest of the stream.
+//
+// Two views of the accumulated history are available:
+//
+//   - Live returns the stream's own *History, updated in place by every
+//     Append. It is valid only until the next Append and must not be
+//     retained or shared across goroutines while the stream is fed; the
+//     online monitor (package spec) uses it to run checks at every
+//     response event without copying.
+//   - History returns a detached immutable snapshot (sharing the
+//     already-written event storage), safe to retain, share and check
+//     like any FromEvents-built history.
+//
+// FromEvents, Prefix and Builder are thin wrappers over this core, so the
+// batch and streaming paths validate histories identically. The
+// incremental index is maintained only for streams built with NewStream
+// (the online consumers that query it at every event); the batch wrappers
+// leave the index to the lazy one-shot builder, so histories that are
+// never checked never pay for it. The two index constructions are pinned
+// equal by the stream differential tests.
+type Stream struct {
+	h *History
+	// ix is the incrementally maintained live index, nil for the batch
+	// wrappers (whose histories build the index lazily on first use).
+	ix *Indexed
+	// tComplete is the mask of t-complete transactions, maintained while
+	// ix.MasksValid so that a new transaction's real-time predecessors are
+	// exactly the transactions already t-complete at its first event.
+	tComplete uint64
+}
+
+// NewStream returns an empty stream with live incremental indexing.
+func NewStream() *Stream {
+	s := newStreamOver(&History{})
+	s.ix = &Indexed{
+		H:          s.h,
+		objIdx:     make(map[Var]int),
+		txnIdx:     make(map[TxnID]int),
+		MasksValid: true,
+	}
+	s.h.idx = s.ix
+	s.h.idxOnce.Do(func() {}) // the live index is the history's index
+	return s
+}
+
+// newStreamOver wires the validation core onto h without live indexing —
+// the batch entry used by FromEvents, Prefix and Builder.
+func newStreamOver(h *History) *Stream {
+	if h.txns == nil {
+		h.txns = make(map[TxnID]*TxnInfo)
+	}
+	return &Stream{h: h}
+}
+
+// replay validates and indexes the events already stored in s.h.events —
+// the batch entry into the stream core used by FromEvents and Prefix.
+func (s *Stream) replay() error {
+	for i, e := range s.h.events {
+		if err := s.check(e); err != nil {
+			return fmt.Errorf("history: event %d (%s): %w", i, e, err)
+		}
+		s.admit(i, e)
+	}
+	return nil
+}
+
+// Append validates e against the history observed so far and incorporates
+// it. On error the stream is unchanged: the event is not recorded and no
+// per-transaction or index state moves.
+func (s *Stream) Append(e Event) error {
+	if err := s.check(e); err != nil {
+		return fmt.Errorf("history: event %d (%s): %w", len(s.h.events), e, err)
+	}
+	s.h.events = append(s.h.events, e)
+	s.admit(len(s.h.events)-1, e)
+	return nil
+}
+
+// check decides whether e may extend the stream, without mutating.
+func (s *Stream) check(e Event) error {
+	if e.Txn == InitTxn {
+		return errReservedTxn
+	}
+	if t := s.h.txns[e.Txn]; t != nil {
+		return t.checkExtend(e)
+	}
+	if e.Kind == Res {
+		return errOrphanResponse
+	}
+	return nil
+}
+
+// admit incorporates the already-validated event e at history index i:
+// per-transaction view first, then the incremental index update.
+func (s *Stream) admit(i int, e Event) {
+	t := s.h.txns[e.Txn]
+	if t == nil {
+		t = &TxnInfo{ID: e.Txn, First: i, TryCInv: -1, TryCRes: -1}
+		s.h.txns[e.Txn] = t
+		s.h.ids = append(s.h.ids, e.Txn)
+		if s.ix != nil {
+			s.addTxn(t)
+		}
+	}
+	t.applyExtend(i, e)
+	if s.ix != nil {
+		s.index(i, e, t)
+	}
+}
+
+// addTxn registers a new transaction with the live index. Its real-time
+// predecessors are the transactions t-complete right now; transactions
+// completing later can never precede it (their last event is at or after
+// this one).
+func (s *Stream) addTxn(t *TxnInfo) {
+	ix := s.ix
+	gi := len(ix.TxnIDs)
+	ix.TxnIDs = append(ix.TxnIDs, t.ID)
+	ix.txnIdx[t.ID] = gi
+	ix.Txns = append(ix.Txns, IndexedTxn{Info: t, BadReadOp: -1, TryCInv: -1, TryCRes: -1})
+	if !ix.MasksValid {
+		return
+	}
+	if gi >= maxMaskTxns {
+		// The 64-transaction bitmask views no longer apply; drop them, as
+		// the batch index builder does for large histories.
+		ix.MasksValid = false
+		ix.RTPred, ix.Writers = nil, nil
+		return
+	}
+	ix.RTPred = append(ix.RTPred, s.tComplete)
+}
+
+// objIndex returns the dense index of v, registering it on first use.
+func (s *Stream) objIndex(v Var) int {
+	if oi, ok := s.ix.objIdx[v]; ok {
+		return oi
+	}
+	oi := len(s.ix.Objs)
+	s.ix.Objs = append(s.ix.Objs, v)
+	s.ix.objIdx[v] = oi
+	if s.ix.MasksValid {
+		s.ix.Writers = append(s.ix.Writers, 0)
+	}
+	return oi
+}
+
+// index folds event e (already applied to t) into the live index.
+func (s *Stream) index(_ int, e Event, t *TxnInfo) {
+	ix := s.ix
+	gi := ix.txnIdx[t.ID]
+	it := &ix.Txns[gi]
+	it.Last = t.Last
+	if e.Kind == Inv {
+		if e.Op == OpRead || e.Op == OpWrite {
+			s.objIndex(e.Obj)
+		}
+		it.First = t.First
+		it.TryCInv = t.TryCInv
+		it.Complete = false
+		it.CommitPending = e.Op == OpTryCommit
+		return
+	}
+	// A response: the transaction's last operation just completed.
+	op := t.Ops[len(t.Ops)-1]
+	it.TryCRes = t.TryCRes
+	it.Complete = true
+	it.CommitPending = false
+	if e.Out != OutOK {
+		it.TComplete = true
+		it.Committed = e.Out == OutCommit
+		if ix.MasksValid {
+			s.tComplete |= uint64(1) << uint(gi)
+		}
+	}
+	switch {
+	case op.Kind == OpRead && op.Out == OutOK:
+		s.indexRead(it, op)
+	case op.Kind == OpWrite && op.Out == OutOK:
+		s.indexWrite(it, gi, op)
+	}
+}
+
+// indexRead classifies a completed value-returning read: satisfied by the
+// transaction's own latest preceding write (consistency-checked, feeding
+// BadReadOp) or external (appended to the read summary).
+func (s *Stream) indexRead(it *IndexedTxn, op Op) {
+	oi := s.ix.objIdx[op.Obj]
+	for wi := range it.Writes {
+		w := &it.Writes[wi]
+		if w.Obj == oi {
+			if w.Val != op.Val && it.BadReadOp < 0 {
+				it.BadReadOp = len(it.Info.Ops) - 1
+				it.BadReadWant = w.Val
+			}
+			return
+		}
+	}
+	it.Reads = append(it.Reads, IndexedRead{Obj: oi, Val: op.Val, ResIdx: op.ResIndex, Op: op})
+}
+
+// indexWrite folds a completed successful write into the latest-write
+// summary (kept sorted by object index) and the per-object writer mask.
+func (s *Stream) indexWrite(it *IndexedTxn, gi int, op Op) {
+	oi := s.objIndex(op.Obj)
+	if s.ix.MasksValid {
+		s.ix.Writers[oi] |= uint64(1) << uint(gi)
+	}
+	pos := len(it.Writes)
+	for wi := range it.Writes {
+		if it.Writes[wi].Obj == oi {
+			it.Writes[wi].Val = op.Arg
+			return
+		}
+		if it.Writes[wi].Obj > oi {
+			pos = wi
+			break
+		}
+	}
+	it.Writes = append(it.Writes, IndexedWrite{})
+	copy(it.Writes[pos+1:], it.Writes[pos:])
+	it.Writes[pos] = IndexedWrite{Obj: oi, Val: op.Arg}
+}
+
+// Len returns the number of events appended so far.
+func (s *Stream) Len() int { return len(s.h.events) }
+
+// NumTxns returns the number of transactions observed so far.
+func (s *Stream) NumTxns() int { return len(s.h.ids) }
+
+// Events returns a copy of the event sequence observed so far.
+func (s *Stream) Events() []Event { return append([]Event(nil), s.h.events...) }
+
+// Live returns the stream's live history view: the same *History value,
+// updated in place by every Append, with its incrementally maintained
+// index behind History.Index. The view is valid until the next Append; it
+// must not be retained, and not shared across goroutines while the stream
+// is being fed. Use History for a detached snapshot.
+func (s *Stream) Live() *History { return s.h }
+
+// History returns an immutable snapshot of the history observed so far.
+// The snapshot shares the already-written event storage with the stream
+// (appending more events never mutates it) and costs O(transactions), not
+// O(events); its index is built on first use, like any batch-built
+// history's.
+func (s *Stream) History() *History {
+	evs := s.h.events
+	h := &History{
+		events: evs[:len(evs):len(evs)],
+		ids:    append([]TxnID(nil), s.h.ids...),
+		txns:   make(map[TxnID]*TxnInfo, len(s.h.ids)),
+	}
+	for id, t := range s.h.txns {
+		ct := *t
+		if n := len(t.Ops); n > 0 && t.Ops[n-1].Pending {
+			// The pending tail operation is completed in place by a later
+			// response; detach it.
+			ct.Ops = append([]Op(nil), t.Ops...)
+		} else {
+			ct.Ops = t.Ops[:len(t.Ops):len(t.Ops)]
+		}
+		h.txns[id] = &ct
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package history_test
+
+import (
+	"testing"
+
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// decodeEvent maps three fuzz bytes to an event. The encoding deliberately
+// reaches invalid events (reserved transaction id, orphan or mismatched
+// responses, events after t-completion) so the differential covers the
+// error paths, not just the happy path.
+func decodeEvent(b0, b1, b2 byte) history.Event {
+	e := history.Event{
+		Op:  history.OpKind(b0%4 + 1),
+		Txn: history.TxnID(b1 % 6), // 0 hits the reserved-id rejection
+	}
+	if b0&4 == 0 {
+		e.Kind = history.Inv
+	} else {
+		e.Kind = history.Res
+		e.Out = history.Outcome((b0>>3)%3 + 1)
+	}
+	switch e.Op {
+	case history.OpRead:
+		e.Obj = history.Var("XYZ"[b2%3 : b2%3+1])
+		if e.Kind == history.Res && e.Out == history.OutOK {
+			e.Val = history.Value(b2 >> 2 & 3)
+		}
+	case history.OpWrite:
+		e.Obj = history.Var("XYZ"[b2%3 : b2%3+1])
+		e.Arg = history.Value(b2 >> 2 & 3)
+	}
+	return e
+}
+
+// FuzzStreamDifferential pins the streaming ingestion core against the
+// batch path: every event offered to a Stream must be accepted or
+// rejected exactly as FromEvents would decide for the accepted prefix
+// plus that event, rejection must leave the stream untouched, and at the
+// end the stream's history, its incrementally maintained index and the
+// du-opacity verdict must equal the batch constructions — the same pin
+// the checker rewrite's FuzzCheckerDifferential provides for the search
+// engine.
+func FuzzStreamDifferential(f *testing.F) {
+	f.Add([]byte{})
+	// write_1(X,1) ok, tryC_1 C, read_2(X)->1, tryC_2 C.
+	f.Add([]byte{
+		1, 1, 4, 5, 1, 4, 2, 1, 0, 6, 1, 0,
+		0, 2, 4, 4, 2, 4, 2, 2, 0, 6, 2, 0,
+	})
+	// Invalid attempts mixed in: orphan response, reserved id.
+	f.Add([]byte{4, 3, 0, 0, 0, 0, 1, 1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxEvents = 200
+		s := history.NewStream()
+		var accepted []history.Event
+		for i := 0; i+3 <= len(data) && i/3 < maxEvents; i += 3 {
+			e := decodeEvent(data[i], data[i+1], data[i+2])
+			_, batchErr := history.FromEvents(append(append([]history.Event(nil), accepted...), e))
+			streamErr := s.Append(e)
+			if (batchErr == nil) != (streamErr == nil) {
+				t.Fatalf("event %v: stream err %v, batch err %v", e, streamErr, batchErr)
+			}
+			if streamErr != nil {
+				if s.Len() != len(accepted) {
+					t.Fatalf("rejected event %v moved the stream: len %d, want %d", e, s.Len(), len(accepted))
+				}
+				continue
+			}
+			accepted = append(accepted, e)
+		}
+		batch, err := history.FromEvents(accepted)
+		if err != nil {
+			t.Fatalf("accepted events rejected by batch path: %v", err)
+		}
+		if err := history.EqualHistoriesForTest(s.Live(), batch); err != nil {
+			t.Fatalf("live history diverges from batch: %v", err)
+		}
+		snap := s.History()
+		if err := history.EqualHistoriesForTest(snap, batch); err != nil {
+			t.Fatalf("snapshot diverges from batch: %v", err)
+		}
+		ref := history.BuildIndexForTest(batch)
+		if err := history.EqualIndexesForTest(s.Live().Index(), ref); err != nil {
+			t.Fatalf("incremental index diverges from batch: %v", err)
+		}
+		if err := history.EqualIndexesForTest(snap.Index(), ref); err != nil {
+			t.Fatalf("snapshot index diverges from batch: %v", err)
+		}
+		const nodeLimit = 50_000
+		vs := spec.CheckDUOpacity(s.Live(), spec.WithNodeLimit(nodeLimit))
+		vb := spec.CheckDUOpacity(batch, spec.WithNodeLimit(nodeLimit))
+		if vs.OK != vb.OK || vs.Undecided != vb.Undecided || vs.Reason != vb.Reason {
+			t.Fatalf("verdicts diverge: stream %v, batch %v", vs, vb)
+		}
+	})
+}

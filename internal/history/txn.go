@@ -60,16 +60,18 @@ type TxnInfo struct {
 }
 
 var (
+	errReservedTxn    = errors.New("transaction id 0 is reserved for T_0")
 	errAfterTComplete = errors.New("event after transaction is t-complete")
 	errPendingOp      = errors.New("invocation while another operation is pending")
 	errOrphanResponse = errors.New("response without matching pending invocation")
 	errAfterTry       = errors.New("operation invoked after tryC/tryA")
 )
 
-// extend incorporates event e (at history index i) into the view,
-// validating well-formedness.
-func (t *TxnInfo) extend(i int, e Event) error {
-	t.Last = i
+// checkExtend reports whether event e may legally extend the view. It is
+// pure: rejected events leave the view untouched, which the streaming
+// ingestion path (Stream.Append) relies on to make rejection
+// side-effect-free.
+func (t *TxnInfo) checkExtend(e Event) error {
 	if n := len(t.Ops); n > 0 {
 		last := &t.Ops[n-1]
 		if !last.Pending && last.Out != OutOK {
@@ -90,19 +92,28 @@ func (t *TxnInfo) extend(i int, e Event) error {
 			if !e.matches(inv) {
 				return fmt.Errorf("%w: response %v does not match pending %v", errOrphanResponse, e, *last)
 			}
-			last.Pending = false
-			last.Out = e.Out
-			last.Val = e.Val
-			last.ResIndex = i
-			if last.Kind == OpTryCommit {
-				t.TryCRes = i
-			}
-			return nil
 		}
 	} else if e.Kind == Res {
 		return errOrphanResponse
 	}
-	// New invocation.
+	return nil
+}
+
+// applyExtend incorporates event e (at history index i) into the view. The
+// event must have passed checkExtend.
+func (t *TxnInfo) applyExtend(i int, e Event) {
+	t.Last = i
+	if e.Kind == Res {
+		last := &t.Ops[len(t.Ops)-1]
+		last.Pending = false
+		last.Out = e.Out
+		last.Val = e.Val
+		last.ResIndex = i
+		if last.Kind == OpTryCommit {
+			t.TryCRes = i
+		}
+		return
+	}
 	t.Ops = append(t.Ops, Op{
 		Kind:     e.Op,
 		Obj:      e.Obj,
@@ -114,6 +125,15 @@ func (t *TxnInfo) extend(i int, e Event) error {
 	if e.Op == OpTryCommit {
 		t.TryCInv = i
 	}
+}
+
+// extend incorporates event e (at history index i) into the view,
+// validating well-formedness.
+func (t *TxnInfo) extend(i int, e Event) error {
+	if err := t.checkExtend(e); err != nil {
+		return err
+	}
+	t.applyExtend(i, e)
 	return nil
 }
 

@@ -32,6 +32,7 @@ type Recorder struct {
 
 	mu  sync.Mutex
 	evs []history.Event
+	tap func(history.Event)
 }
 
 // New returns a Recorder around eng.
@@ -53,10 +54,28 @@ func (r *Recorder) Begin() *Txn {
 
 // Reset discards the events recorded so far (the engine's state is left
 // untouched). It must not be called while transactions are in flight.
+// A registered tap is kept but is not informed of the discard.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.evs = nil
+}
+
+// Tap registers fn to observe every event at the moment it is recorded,
+// called synchronously under the recorder's capture mutex — so fn sees
+// the events in exactly the linearized order the recorded history will
+// contain, with no two calls concurrent. This is the live-monitor hook:
+// attach a spec.Monitor's Append (whose single-goroutine requirement the
+// mutex discharges) and the execution is certified while it runs instead
+// of replaying a materialized history afterwards. Events recorded before
+// Tap are not replayed; pass nil to detach. Keep fn cheap: it runs inside
+// every transaction's operation window. fn must not call back into the
+// Recorder (History, Reset, Tap, or any transaction operation) — it runs
+// while the capture mutex is held and would self-deadlock.
+func (r *Recorder) Tap(fn func(history.Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tap = fn
 }
 
 // History snapshots the recorded events as a history. Transactions still
@@ -76,6 +95,9 @@ func (r *Recorder) History() *history.History {
 func (r *Recorder) append(e history.Event) {
 	r.mu.Lock()
 	r.evs = append(r.evs, e)
+	if r.tap != nil {
+		r.tap(e)
+	}
 	r.mu.Unlock()
 }
 

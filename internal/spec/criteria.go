@@ -78,11 +78,16 @@ func CheckOpacity(h *history.History, opts ...Option) Verdict {
 // (Overlapping tryC operations impose no constraint, matching the
 // linearization freedom TMS2 gives concurrent commits.) This reproduces the
 // paper's Figure 6 separation: du-opaque but not TMS2.
+//
+// WithTMS2AbortedReaderExemption switches to the alternative reading in
+// which edges sourced at aborted readers are dropped (see the option's
+// documentation for the interpretation question it resolves).
 func CheckTMS2(h *history.History, opts ...Option) Verdict {
-	return decide(h, TMS2, searchMode{realTime: true, extraEdges: tms2Edges(h)}, buildOptions(opts))
+	o := buildOptions(opts)
+	return decide(h, TMS2, searchMode{realTime: true, extraEdges: tms2Edges(h, o.tms2AbortedExemption)}, o)
 }
 
-func tms2Edges(h *history.History) [][2]history.TxnID {
+func tms2Edges(h *history.History, exemptAbortedReaders bool) [][2]history.TxnID {
 	ix := h.Index()
 	var edges [][2]history.TxnID
 	for ai := range ix.Txns {
@@ -96,6 +101,9 @@ func tms2Edges(h *history.History) [][2]history.TxnID {
 			}
 			t2 := &ix.Txns[bi]
 			if t2.TryCInv < 0 || t1.TryCRes >= t2.TryCInv {
+				continue
+			}
+			if exemptAbortedReaders && t2.TComplete && !t2.Committed {
 				continue
 			}
 			if readsObjectWrittenBy(ix, t2, t1) {

@@ -12,29 +12,75 @@ import (
 // opacity) makes monitoring sound: once a prefix is rejected, every
 // extension is rejected, so the monitor latches the violation.
 //
-// Two optimizations keep the per-event cost low:
+// The monitor rides the streaming ingestion core (history.Stream): each
+// event is validated in O(1) amortized time and folded into the live
+// history and its incrementally maintained index — unlike the
+// pre-stream monitor, which re-ran history.FromEvents over the whole
+// event log at every append. The one per-response cost that still grows
+// with the history is materializing the witness Seq carried by the
+// returned Verdict (a slab copy of the observed operations); making that
+// lazy is the recorded follow-up in ROADMAP.md.
 //
-//   - only response events can change the verdict (appending an invocation
-//     to an accepted history preserves acceptance: the new pending
-//     operation is aborted by every completion without constraining
-//     legality, and a new pending tryC only adds completion choices);
-//   - before searching, the monitor tries to re-validate the previous
-//     witness — extended with any transactions that appeared since —
-//     using the search-free validator, which usually succeeds when the
-//     new event does not change who must precede whom.
+// Verdict work happens only at response events (appending an invocation
+// to an accepted history preserves acceptance: the new pending operation
+// is aborted by every completion without constraining legality, and a new
+// pending tryC only adds completion choices). At a response, the monitor
+// maintains a witness serialization order incrementally instead of
+// searching:
+//
+//   - transactions enter the witness order at the end when they first
+//     appear, which can never violate real-time order (nothing real-time
+//     precedes a transaction that just performed its first event except
+//     transactions already placed earlier);
+//   - a response that aborts a transaction the witness already aborts, or
+//     commits one it already commits, adds no constraint;
+//   - a successful write by a live transaction installs nothing until its
+//     tryC commits, so it only needs the witness re-materialized;
+//   - a value-returning external read is checked — alone — against the
+//     committed writers placed before its transaction (both the latest
+//     committed value and the deferred-update local-serialization value);
+//   - only commit-decision flips (a pending tryC resolving against the
+//     witness's guess) trigger a full re-validation of the order, and
+//     only its failure falls back to the exhaustive search.
+//
+// Appending a malformed event returns an error and leaves the monitor
+// completely unchanged (the stream's rejection is side-effect-free), so a
+// monitor can skip one bad event and keep consuming the stream.
+//
+// A Monitor must be fed from one goroutine at a time; use an external
+// lock (e.g. the recorder's capture mutex, see recorder.Recorder.Tap) to
+// monitor concurrent executions.
 type Monitor struct {
 	crit Criterion
 	opts options
 
-	evs     []history.Event
-	h       *history.History
+	st      *history.Stream
 	verdict Verdict
 	// latched is set once a violation is definitive (prefix closure).
 	latched bool
-	// searches and fastHits count full searches vs. witness reuses, for
-	// introspection and benchmarks.
+	// searches and fastHits count full searches vs. incremental witness
+	// reuses, for introspection and benchmarks.
 	searches int
 	fastHits int
+
+	// The incrementally maintained witness: a serialization order over
+	// dense transaction indexes with per-position commit decisions. It
+	// certifies the history observed so far whenever verdict.OK and
+	// witnessOK both hold (witnessOK only drops on defensive paths that
+	// should be unreachable; the search then re-establishes it).
+	order     []int
+	commit    []bool
+	pos       []int // dense txn index -> position in order
+	witnessOK bool
+
+	// undecidedPrefix records the first response prefix whose opacity
+	// check hit the node limit. Monitored opacity decides "every prefix
+	// final-state opaque" by induction over accepted prefixes; a skipped
+	// (undecided) prefix breaks the induction permanently, so the monitor
+	// stays undecided from then on instead of reporting a definitive OK
+	// it cannot justify. Unused for the other criteria, which are
+	// properties of the current history alone.
+	undecidedPrefix string
 }
 
 // NewMonitor returns a monitor for the given criterion. Supported
@@ -46,20 +92,22 @@ func NewMonitor(c Criterion, opts ...Option) (*Monitor, error) {
 	default:
 		return nil, fmt.Errorf("spec: criterion %v not supported by the monitor", c)
 	}
-	m := &Monitor{crit: c, opts: buildOptions(opts)}
-	m.h = history.MustFromEvents(nil)
+	m := &Monitor{crit: c, opts: buildOptions(opts), st: history.NewStream(), witnessOK: true}
 	m.verdict = Verdict{Criterion: c, OK: true, Serialization: &history.Seq{}}
 	return m, nil
 }
 
-// Stats reports how many full searches and witness reuses the monitor has
-// performed.
+// Stats reports how many full searches and incremental witness reuses the
+// monitor has performed.
 func (m *Monitor) Stats() (searches, fastHits int) {
 	return m.searches, m.fastHits
 }
 
-// History returns the history observed so far.
-func (m *Monitor) History() *history.History { return m.h }
+// History returns a snapshot of the history observed so far.
+func (m *Monitor) History() *history.History { return m.st.History() }
+
+// Len returns the number of events observed so far.
+func (m *Monitor) Len() int { return m.st.Len() }
 
 // Verdict returns the verdict for the history observed so far.
 func (m *Monitor) Verdict() Verdict { return m.verdict }
@@ -68,13 +116,9 @@ func (m *Monitor) Verdict() Verdict { return m.verdict }
 // an error (leaving the monitor unchanged) when the event would make the
 // history ill-formed.
 func (m *Monitor) Append(e history.Event) (Verdict, error) {
-	evs := append(m.evs, e)
-	h, err := history.FromEvents(evs)
-	if err != nil {
+	if err := m.st.Append(e); err != nil {
 		return m.verdict, err
 	}
-	m.evs = evs
-	m.h = h
 	if m.latched {
 		// Prefix closure: the violation is permanent. Keep the original
 		// refutation.
@@ -82,72 +126,231 @@ func (m *Monitor) Append(e history.Event) (Verdict, error) {
 	}
 	if e.Kind == history.Inv {
 		// Invocation events cannot break acceptance; the verdict carries
-		// over (the witness may name fewer transactions than the history;
-		// re-derive lazily on the next response).
+		// over (the witness order catches up at the next response).
 		return m.verdict, nil
 	}
-	m.verdict = m.recheck()
+	m.verdict = m.recheck(e)
 	if !m.verdict.OK && !m.verdict.Undecided {
 		m.latched = true
 	}
 	return m.verdict, nil
 }
 
-// recheck computes the verdict for the current history, trying witness
-// reuse first (for the du / final-state criteria whose witnesses we can
-// cheaply re-validate).
-func (m *Monitor) recheck() Verdict {
-	if m.crit == DUOpacity && m.verdict.OK && m.verdict.Serialization != nil {
-		if s := m.extendWitness(m.verdict.Serialization); s != nil {
-			if err := VerifySerialization(m.h, s); err == nil {
-				m.fastHits++
-				return Verdict{Criterion: m.crit, OK: true, Serialization: s}
-			}
+// recheck computes the verdict after response event e, trying the
+// incremental witness first. The witness is validated against the
+// deferred-update conditions, which imply final-state opacity, so the
+// fast path is sound for every monitorable criterion (a du-invalid
+// witness may still satisfy the weaker criteria — the search then decides
+// exactly).
+func (m *Monitor) recheck(e history.Event) Verdict {
+	h := m.st.Live()
+	if h.NumTxns() > 64 {
+		// Out of the exact checkers' scope: undecided, not latched, so a
+		// long-running monitor degrades explicitly instead of latching a
+		// spurious violation.
+		return Verdict{
+			Criterion: m.crit,
+			Undecided: true,
+			Reason:    fmt.Sprintf("history has %d transactions; exact monitoring is limited to 64", h.NumTxns()),
 		}
 	}
+	if m.crit == Opacity && m.undecidedPrefix != "" {
+		// A skipped prefix can never be revisited; opacity of the stream
+		// stays undecidable (see undecidedPrefix).
+		return Verdict{Criterion: Opacity, Undecided: true, Reason: m.undecidedPrefix}
+	}
+	ix := h.Index()
+	if m.verdict.OK && m.witnessOK && m.fastRecheck(ix, e) {
+		m.fastHits++
+		return Verdict{Criterion: m.crit, OK: true, Serialization: m.materialize(ix)}
+	}
 	m.searches++
+	var v Verdict
 	switch m.crit {
 	case DUOpacity:
-		return CheckDUOpacity(m.h, WithNodeLimit(m.opts.nodeLimit))
+		v = CheckDUOpacity(h, WithNodeLimit(m.opts.nodeLimit))
 	case FinalStateOpacity:
-		return CheckFinalStateOpacity(m.h, WithNodeLimit(m.opts.nodeLimit))
+		v = CheckFinalStateOpacity(h, WithNodeLimit(m.opts.nodeLimit))
 	default:
-		return CheckOpacity(m.h, WithNodeLimit(m.opts.nodeLimit))
+		// Opacity: every response prefix seen so far was accepted (or the
+		// monitor would have latched, or undecidedPrefix would be set),
+		// so final-state opacity of the current history decides opacity
+		// incrementally — the monitor never re-walks earlier prefixes the
+		// way batch CheckOpacity must.
+		v = CheckFinalStateOpacity(h, WithNodeLimit(m.opts.nodeLimit))
+		v.Criterion = Opacity
+		if v.Undecided {
+			m.undecidedPrefix = fmt.Sprintf("prefix of length %d: %s", h.Len(), v.Reason)
+			v.Reason = m.undecidedPrefix
+		} else if !v.OK {
+			v.Reason = fmt.Sprintf("prefix of length %d is not final-state opaque: %s", h.Len(), v.Reason)
+		}
+	}
+	if v.OK && v.Serialization != nil {
+		m.adoptWitness(ix, v.Serialization)
+	}
+	return v
+}
+
+// syncOrder appends transactions that entered the history since the last
+// response to the end of the witness order. A fresh transaction has a
+// single pending operation — no reads to justify, no installed writes —
+// and nothing real-time precedes it that is not already placed, so the
+// extension is always valid.
+func (m *Monitor) syncOrder(ix *history.Indexed) {
+	for gi := len(m.pos); gi < ix.NumTxns(); gi++ {
+		m.pos = append(m.pos, len(m.order))
+		m.order = append(m.order, gi)
+		m.commit = append(m.commit, false)
 	}
 }
 
-// extendWitness rebuilds the previous witness against the current history:
-// same transaction order and commit decisions, with transactions that
-// appeared since appended at the end (committing those whose tryC
-// committed in H). Returns nil when the previous order is no longer
-// constructible. The rebuild runs on the indexed view — dense positions
-// and the slab Seq builder — so the monitor's per-response fast path stops
-// reconstructing transaction maps.
-func (m *Monitor) extendWitness(prev *history.Seq) *history.Seq {
-	ix := m.h.Index()
+// adoptWitness replaces the incremental witness with the order and commit
+// decisions of a search-produced serialization.
+func (m *Monitor) adoptWitness(ix *history.Indexed, s *history.Seq) {
 	n := ix.NumTxns()
-	inPrev := make([]bool, n)
-	order := make([]int, 0, n)
-	commit := make([]bool, 0, n)
-	for i := range prev.Txns {
-		st := &prev.Txns[i]
-		ti := ix.TxnIndexOf(st.ID)
+	m.order = m.order[:0]
+	m.commit = m.commit[:0]
+	m.pos = m.pos[:0]
+	if len(s.Txns) != n {
+		// The search witnesses of the monitorable criteria place every
+		// transaction; anything else cannot seed the incremental state.
+		m.witnessOK = false
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.pos = append(m.pos, 0)
+	}
+	for i := range s.Txns {
+		ti := ix.TxnIndexOf(s.Txns[i].ID)
 		if ti < 0 {
-			return nil
+			m.order, m.commit, m.pos = m.order[:0], m.commit[:0], m.pos[:0]
+			m.witnessOK = false
+			return
 		}
-		inPrev[ti] = true
-		order = append(order, ti)
-		commit = append(commit, st.Committed())
+		m.pos[ti] = i
+		m.order = append(m.order, ti)
+		m.commit = append(m.commit, s.Txns[i].Committed())
 	}
-	for ti := range ix.Txns {
-		if !inPrev[ti] {
-			it := &ix.Txns[ti]
-			order = append(order, ti)
-			commit = append(commit, it.Committed || it.CommitPending)
+	m.witnessOK = true
+}
+
+// fastRecheck decides whether the witness order, incrementally updated,
+// still certifies the history extended by response event e. It reports
+// false when only the exhaustive search can decide.
+func (m *Monitor) fastRecheck(ix *history.Indexed, e history.Event) bool {
+	m.syncOrder(ix)
+	gi := ix.TxnIndexOf(e.Txn)
+	if gi < 0 {
+		return false
+	}
+	it := &ix.Txns[gi]
+	p := m.pos[gi]
+	switch {
+	case e.Op == history.OpTryCommit && e.Out == history.OutCommit:
+		if m.commit[p] {
+			return true // the witness had already committed the pending tryC
+		}
+		// Flip to committed: the transaction's writes enter the stacks at
+		// its position; re-validate the whole order.
+		m.commit[p] = true
+		if m.revalidate(ix) {
+			return true
+		}
+		m.commit[p] = false
+		return false
+	case e.Out != history.OutOK:
+		// A_k on any operation. The witness aborts live transactions, so
+		// an abort adds no constraint — unless it had committed a
+		// commit-pending transaction that now aborted.
+		if !m.commit[p] {
+			return true
+		}
+		m.commit[p] = false
+		if m.revalidate(ix) {
+			return true
+		}
+		m.commit[p] = true
+		return false
+	case e.Op == history.OpRead:
+		// A value-returning read. An own-write read constrains nothing
+		// once consistent; BadReadOp >= 0 here means e just made the
+		// transaction internally inconsistent (earlier inconsistencies
+		// would have latched) — let the search produce the exact reason.
+		if it.BadReadOp >= 0 {
+			return false
+		}
+		if n := len(it.Reads); n > 0 && it.Reads[n-1].ResIdx == m.st.Len()-1 {
+			return m.checkRead(ix, p, it.Reads[n-1])
+		}
+		return true
+	case e.Op == history.OpWrite:
+		// A successful write by a (necessarily live) transaction installs
+		// nothing until its tryC commits; if the witness somehow commits
+		// it already, fall back to a full re-validation.
+		if !m.commit[p] {
+			return true
+		}
+		return m.revalidate(ix)
+	default:
+		return false
+	}
+}
+
+// checkRead verifies one external value-returning read of the transaction
+// at position readerPos against the committed writers placed before it:
+// the latest committed write to the object must be the value read
+// (legality), and so must the latest one whose tryC invocation precedes
+// the read's response in H (the deferred-update local serialization),
+// with T_0's InitValue as the base case for both.
+func (m *Monitor) checkRead(ix *history.Indexed, readerPos int, r history.IndexedRead) bool {
+	top := history.InitValue
+	local := history.InitValue
+	for q := 0; q < readerPos; q++ {
+		if !m.commit[q] {
+			continue
+		}
+		wt := &ix.Txns[m.order[q]]
+		for wi := range wt.Writes {
+			w := &wt.Writes[wi]
+			if w.Obj > r.Obj {
+				break // Writes are sorted by object index
+			}
+			if w.Obj == r.Obj {
+				top = w.Val
+				if wt.TryCInv >= 0 && wt.TryCInv < r.ResIdx {
+					local = w.Val
+				}
+			}
 		}
 	}
-	if len(order) != n {
-		return nil // duplicate transactions in the previous witness
+	return top == r.Val && local == r.Val
+}
+
+// revalidate re-checks the whole witness order: commit decisions against
+// transaction roles, and every external read via checkRead. It runs only
+// when a commit decision flips (or defensively), not on the per-event
+// fast path.
+func (m *Monitor) revalidate(ix *history.Indexed) bool {
+	for p, gi := range m.order {
+		it := &ix.Txns[gi]
+		if it.Committed && !m.commit[p] {
+			return false
+		}
+		if m.commit[p] && !(it.Committed || it.CommitPending) {
+			return false
+		}
+		for _, r := range it.Reads {
+			if !m.checkRead(ix, p, r) {
+				return false
+			}
+		}
 	}
-	return ix.SeqForOrder(order, commit)
+	return true
+}
+
+// materialize builds the Seq for the current witness order via the
+// index's slab builder.
+func (m *Monitor) materialize(ix *history.Indexed) *history.Seq {
+	return ix.SeqForOrder(m.order, m.commit)
 }

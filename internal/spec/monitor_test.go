@@ -1,6 +1,7 @@
 package spec_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"duopacity/internal/gen"
@@ -136,6 +137,156 @@ func TestMonitorRejectsMalformedEvent(t *testing.T) {
 	}
 	if _, err := m.Append(history.Event{Kind: history.Inv, Op: history.OpRead, Txn: 1, Obj: "X"}); err != nil {
 		t.Fatalf("valid append after failure: %v", err)
+	}
+}
+
+// TestMonitorRejectionMidStreamIsSideEffectFree is the regression test
+// for the pre-stream Monitor.Append bug where the rejected event was
+// written into the event slice's spare capacity before validation. With
+// the stream core, a rejected append must leave the monitor byte-for-byte
+// where it was: same history, same verdict, and subsequent appends behave
+// as if the bad event was never offered.
+func TestMonitorRejectionMidStreamIsSideEffectFree(t *testing.T) {
+	h := gen.DUOpaque(gen.Config{Txns: 6, Objects: 3, OpsPerTxn: 3, Relax: 4, Seed: 11})
+	evs := h.Events()
+	m, err := spec.NewMonitor(spec.DUOpacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []history.Event{
+		{Kind: history.Res, Op: history.OpRead, Txn: 99, Obj: "X", Out: history.OutOK, Val: 1},
+		{Kind: history.Inv, Op: history.OpWrite, Txn: history.InitTxn, Obj: "X", Arg: 1},
+	}
+	for i, e := range evs {
+		// Offer malformed events before every real one.
+		before := m.Verdict()
+		for _, b := range bad {
+			if _, err := m.Append(b); err == nil {
+				t.Fatalf("event %d: malformed event %v accepted", i, b)
+			}
+		}
+		if m.History().Len() != i {
+			t.Fatalf("event %d: rejected appends changed the history length to %d", i, m.History().Len())
+		}
+		after := m.Verdict()
+		if before.OK != after.OK || before.Reason != after.Reason {
+			t.Fatalf("event %d: rejected appends changed the verdict", i)
+		}
+		if _, err := m.Append(e); err != nil {
+			t.Fatalf("event %d (%v): %v", i, e, err)
+		}
+	}
+	// The final verdict matches the batch checker on the clean history.
+	if got, want := m.Verdict().OK, spec.CheckDUOpacity(h).OK; got != want {
+		t.Fatalf("final verdict %v, batch %v", got, want)
+	}
+	if !m.History().Equivalent(h) {
+		t.Fatal("monitored history diverged from the input")
+	}
+}
+
+// feedCompare appends h's events one at a time, comparing the monitor's
+// verdict against the batch checker at every response prefix. It pins the
+// incremental witness maintenance (commit flips, per-read checks,
+// rebuild-only paths) against the exhaustive search.
+func feedCompare(t *testing.T, c spec.Criterion, h *history.History) {
+	t.Helper()
+	m, err := spec.NewMonitor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := h.Events()
+	latched := false
+	for i, e := range evs {
+		v, err := m.Append(e)
+		if err != nil {
+			t.Fatalf("append %d (%v): %v", i, e, err)
+		}
+		if e.Kind != history.Res {
+			continue
+		}
+		want := spec.Check(h.Prefix(i+1), c)
+		// The monitor latches (prefix-closed semantics); past the first
+		// violation the batch verdict of a non-prefix-closed criterion
+		// may recover, so only compare while unlatched.
+		if !latched && v.OK != want.OK {
+			t.Fatalf("prefix %d: monitor=%v batch=%v (monitor reason: %s; batch reason: %s)",
+				i+1, v.OK, want.OK, v.Reason, want.Reason)
+		}
+		if !v.OK {
+			latched = true
+		}
+		if v.OK && c == spec.DUOpacity {
+			// A claimed witness must independently validate.
+			if err := spec.VerifySerialization(h.Prefix(i+1), v.Serialization); err != nil {
+				t.Fatalf("prefix %d: monitor witness invalid: %v", i+1, err)
+			}
+		}
+	}
+}
+
+// TestMonitorDifferentialAccepting cross-checks the monitor against the
+// batch checkers on generated du-opaque histories, for all monitorable
+// criteria.
+func TestMonitorDifferentialAccepting(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		h := gen.DUOpaque(gen.Config{
+			Txns: 8, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5,
+			PAbort: 0.2, PNoTryC: 0.15, Relax: 5, Seed: 100 + seed,
+		})
+		for _, c := range []spec.Criterion{spec.DUOpacity, spec.FinalStateOpacity, spec.Opacity} {
+			feedCompare(t, c, h)
+		}
+	}
+}
+
+// TestMonitorDifferentialViolating cross-checks the monitor on histories
+// with planted deferred-update violations and sourceless reads.
+func TestMonitorDifferentialViolating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	planted := 0
+	for seed := int64(0); seed < 24 && planted < 8; seed++ {
+		h := gen.DUOpaque(gen.Config{
+			Txns: 8, Objects: 3, OpsPerTxn: 3, UniqueWrites: true,
+			PAbort: 0.15, Relax: 5, Seed: 200 + seed,
+		})
+		if m, ok := gen.MutateFutureRead(h, rng); ok {
+			feedCompare(t, spec.DUOpacity, m)
+			planted++
+		}
+		if m, ok := gen.MutateSourcelessRead(h, rng); ok {
+			feedCompare(t, spec.DUOpacity, m)
+			feedCompare(t, spec.FinalStateOpacity, m)
+			feedCompare(t, spec.Opacity, m)
+		}
+	}
+	if planted == 0 {
+		t.Fatal("no deferred-update violations planted")
+	}
+}
+
+// TestMonitorOpacityStaysUndecidedAfterSkippedPrefix is the regression
+// test for the incremental opacity induction: once a response prefix's
+// check hits the node limit (the prefix is skipped, not decided), the
+// monitor must never report a definitive OK again — batch CheckOpacity
+// of the same stream stays undecided, and so must the monitor.
+func TestMonitorOpacityStaysUndecidedAfterSkippedPrefix(t *testing.T) {
+	h := gen.DUOpaque(gen.Config{Txns: 8, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5,
+		PAbort: 0.2, PNoTryC: 0.1, Relax: 5, Seed: 25})
+	m, err := spec.NewMonitor(spec.Opacity, spec.WithNodeLimit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := feed(t, m, h)
+	want := spec.CheckOpacity(h, spec.WithNodeLimit(5))
+	if !want.Undecided {
+		t.Skipf("seed no longer produces an undecided prefix at this limit (batch: %v)", want)
+	}
+	if v.OK || !v.Undecided {
+		t.Fatalf("monitor reported %v after an undecided prefix; batch says %v", v, want)
+	}
+	if v.Reason == "" {
+		t.Fatal("undecided verdict without a reason")
 	}
 }
 

@@ -496,7 +496,7 @@ func checkReference(h *history.History, c Criterion, o options) Verdict {
 		}
 		return Verdict{Criterion: Opacity, OK: true, Serialization: &history.Seq{}}
 	case TMS2:
-		return refDecide(h, c, searchMode{realTime: true, extraEdges: tms2Edges(h)}, o)
+		return refDecide(h, c, searchMode{realTime: true, extraEdges: tms2Edges(h, o.tms2AbortedExemption)}, o)
 	case RCO:
 		return refDecide(h, c, searchMode{realTime: true, extraEdges: rcoEdges(h)}, o)
 	case StrictSerializability:
