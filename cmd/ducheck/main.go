@@ -7,6 +7,7 @@
 //	ducheck [-criteria du,opacity,...] [-witness] file...
 //	ducheck -parallel [-jobs N] [-portfolio N] file...
 //	ducheck -follow [-criteria du,opacity,finalstate] [-]
+//	ducheck -explore -engine tl2 [-criteria du,opacity] [-max-schedules N] plan...
 //
 // With several files (or -parallel), every file is checked against every
 // requested criterion; -parallel shards the batch across -jobs workers
@@ -24,8 +25,21 @@
 // (du, opacity, finalstate) are allowed with -follow. Malformed lines
 // are reported on stderr and skipped; the monitors are unaffected.
 //
-// Exit status: 0 if every requested criterion accepts every history, 1 if
-// any rejects, 2 on input errors.
+// -explore changes the input from histories to *plans* (one thread per
+// line, '|' between a thread's transactions, "r<obj>"/"w<obj>"
+// operations): instead of checking one recorded history, ducheck
+// enumerates every schedule of the deterministic stepper's space for
+// the plan — the -engine's exclusion policy plus the stepper's
+// abort-backoff discipline, the space the interleaved sampler draws
+// from — and certifies each online, so the answer is a per-plan proof
+// ("no schedule of that space violates du-opacity") or a refutation
+// pinned at the causing schedule and event. Criteria are limited to the
+// prefix-closed monitorable ones (du, opacity); -parallel/-jobs shard
+// plans across the certification farm.
+//
+// Exit status: 0 if every requested criterion accepts every history
+// (with -explore: proves every plan), 1 if any rejects (with -explore:
+// any plan refuted or left undecided by the budget), 2 on input errors.
 package main
 
 import (
@@ -35,13 +49,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
 	"duopacity/internal/checkfarm"
+	"duopacity/internal/harness"
 	"duopacity/internal/histio"
 	"duopacity/internal/history"
 	"duopacity/internal/spec"
+	"duopacity/internal/stm"
 )
 
 var criteriaByFlag = map[string]spec.Criterion{
@@ -76,6 +93,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		"fan each check's top-level search branches across this many workers (spec.WithParallelism; useful for one hard history, combine with -parallel for many)")
 	follow := fs.Bool("follow", false,
 		"monitor events from stdin as they arrive (streaming ingestion; criteria limited to du, opacity, finalstate)")
+	explore := fs.Bool("explore", false,
+		"arguments are plan files (internal/stm text format), not histories: enumerate every schedule of the deterministic stepper's space for each plan and prove or refute it (criteria limited to du, opacity)")
+	engine := fs.String("engine", "tl2", "engine to explore plans on (with -explore)")
+	maxSchedules := fs.Int("max-schedules", 0, "explore budget: schedules per plan (0 = default)")
+	maxAttempts := fs.Int("max-attempts", 0, "explore retry bound per transaction (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -98,13 +120,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		}
 		// With the default criteria list, follow only the monitorable
 		// ones; an explicit -criteria must name monitorable criteria.
-		criteriaSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "criteria" {
-				criteriaSet = true
-			}
-		})
-		if !criteriaSet {
+		if !flagWasSet(fs, "criteria") {
 			criteria = []spec.Criterion{spec.DUOpacity, spec.Opacity, spec.FinalStateOpacity}
 		}
 		return runFollow(criteria, *nodeLimit, stdin, stdout)
@@ -123,6 +139,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 			stdinSrc = b
 			break
 		}
+	}
+
+	if *explore {
+		// With the default criteria list, explore du-opacity only; an
+		// explicit -criteria must name explorable criteria.
+		if !flagWasSet(fs, "criteria") {
+			criteria = []spec.Criterion{spec.DUOpacity}
+		}
+		exploreJobs := 1
+		if *parallel {
+			exploreJobs = *jobs
+		}
+		// The explorer treats NodeLimit <= 0 as "use the default bound",
+		// so honor the flag's documented "0 = unlimited" explicitly.
+		exploreNodeLimit := *nodeLimit
+		if exploreNodeLimit <= 0 {
+			exploreNodeLimit = math.MaxInt
+		}
+		return runExplore(*engine, criteria, paths, stdinSrc, harness.ExploreConfig{
+			MaxSchedules: *maxSchedules,
+			MaxAttempts:  *maxAttempts,
+			NodeLimit:    exploreNodeLimit,
+			// Refutation needs one witness; only proving requires
+			// exhausting the space, and stop-at-first never fires on a
+			// violation-free plan.
+			StopAtFirstViolation: true,
+		}, exploreJobs, stdout)
 	}
 	hs := make([]*history.History, len(paths))
 	for i, path := range paths {
@@ -172,6 +215,73 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		}
 	}
 	if violations > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runExplore is the systematic mode: each path names a plan (one thread
+// per line, '|' between transactions, "r<obj>"/"w<obj>" operations), and
+// every schedule of the stepper's space for each plan is enumerated and
+// certified online per criterion. A proven plan means no schedule of
+// that space violates the criterion; a violation pins the causing schedule
+// and event. The exit status is 1 when any plan is not proven — refuted
+// or budget-exhausted (an undecided exploration is not an acceptance,
+// matching the batch mode's treatment of undecided verdicts).
+func runExplore(engine string, criteria []spec.Criterion, paths []string, stdinSrc []byte, cfg harness.ExploreConfig, jobs int, stdout io.Writer) (int, error) {
+	// Validate every criterion before exploring anything: a non-explorable
+	// one must not surface mid-run after reports (and a possible exit-1
+	// refutation) were already printed for the earlier criteria.
+	for _, c := range criteria {
+		switch c {
+		case spec.DUOpacity, spec.Opacity:
+		default:
+			return 2, fmt.Errorf("-explore requires prefix-closed monitorable criteria (du, opacity), got %v", c)
+		}
+	}
+	plans := make([]stm.Plan, len(paths))
+	for i, path := range paths {
+		src := stdinSrc
+		if path != "-" {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return 2, err
+			}
+			src = b
+		}
+		p, err := stm.ParsePlan(string(src))
+		if err != nil {
+			return 2, fmt.Errorf("%s: %w", path, err)
+		}
+		plans[i] = p
+	}
+	unproven := 0
+	for _, c := range criteria {
+		ccfg := cfg
+		ccfg.Criterion = c
+		reports, err := checkfarm.ExplorePlans(context.Background(), engine, plans, ccfg, jobs)
+		if err != nil {
+			return 2, err
+		}
+		for i, r := range reports {
+			if len(paths) > 1 || len(criteria) > 1 {
+				fmt.Fprintf(stdout, "== %s, %s ==\n", paths[i], c)
+			}
+			fmt.Fprintf(stdout, "plan: %d threads, %d txns, %d ops, %d objects\n",
+				len(r.Plan.Threads), r.Plan.NumTxns(), r.Plan.NumOps(), r.Plan.Objects)
+			fmt.Fprintf(stdout, "%s %s: %s — %d schedules, %d cut (prefix closure), %d sleep-pruned, %d symmetry-pruned, %d steps\n",
+				engine, c, r.Outcome, r.Schedules, r.PrefixCut, r.SleepPruned, r.SymmetryPruned, r.Steps)
+			if r.Outcome != harness.ProvenDUOpaque {
+				unproven++
+			}
+			if r.Violation != nil {
+				fmt.Fprintf(stdout, "violation latched at event %d, schedule %v: %s\n",
+					r.Violation.At, r.Violation.Schedule, r.Violation.Verdict.Reason)
+				fmt.Fprint(stdout, histio.FormatString(r.Violation.History))
+			}
+		}
+	}
+	if unproven > 0 {
 		return 1, nil
 	}
 	return 0, nil
@@ -253,6 +363,18 @@ func runFollow(criteria []spec.Criterion, nodeLimit int, stdin io.Reader, stdout
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (as opposed to holding its default).
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func parseFile(path string, stdinSrc []byte) (*history.History, error) {

@@ -184,3 +184,96 @@ func TestRunInputErrors(t *testing.T) {
 		t.Error("missing file should be an input error")
 	}
 }
+
+func TestExplorePlanFile(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "litmus.plan")
+	if err := os.WriteFile(plan, []byte("w0\nr0 r0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The in-place engine is refuted: exit 1, violation pinned at its
+	// causing schedule and event.
+	var out strings.Builder
+	code, err := run([]string{"-explore", "-engine", "ple", plan}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	for _, want := range []string{"violation", "schedule [0 1]", "latched at event 3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explore output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The deferred-update engine is proven: exit 0, full enumeration.
+	out.Reset()
+	code, err = run([]string{"-explore", "-engine", "tl2", plan}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "proven") {
+		t.Errorf("explore output missing proof:\n%s", out.String())
+	}
+}
+
+func TestExplorePlanStdin(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-explore", "-engine", "norec", "-criteria", "du,opacity", "-"},
+		strings.NewReader("w0 | r0\nr0 w0\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"du-opacity", "opacity: proven"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explore output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExploreInputErrors(t *testing.T) {
+	if code, _ := run([]string{"-explore", "-"}, strings.NewReader("not a plan\n"), &strings.Builder{}); code != 2 {
+		t.Error("malformed plan should be an input error")
+	}
+	if code, _ := run([]string{"-explore", "-engine", "bogus", "-"}, strings.NewReader("r0\n"), &strings.Builder{}); code != 2 {
+		t.Error("unknown engine should be an input error")
+	}
+	if code, _ := run([]string{"-explore", "-criteria", "tms2", "-"}, strings.NewReader("r0\n"), &strings.Builder{}); code != 2 {
+		t.Error("non-explorable criterion should be an input error")
+	}
+	// Mixed valid/invalid criteria fail upfront: no partial reports may be
+	// printed (and no exit-1 refutation masked) before the error surfaces.
+	var out strings.Builder
+	if code, _ := run([]string{"-explore", "-engine", "ple", "-criteria", "du,tms2", "-"},
+		strings.NewReader("w0\nr0 r0\n"), &out); code != 2 {
+		t.Error("mixed explorable/non-explorable criteria should be an input error")
+	}
+	if out.Len() != 0 {
+		t.Errorf("partial reports printed before the criteria error:\n%s", out.String())
+	}
+}
+
+// TestExploreBudgetExhaustedExit: an undecided exploration is not an
+// acceptance — budget-exhausted must exit 1, like undecided verdicts in
+// batch mode, so `ducheck -explore && deploy` cannot treat an unproven
+// plan as proven.
+func TestExploreBudgetExhaustedExit(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-explore", "-engine", "tl2", "-max-schedules", "3", "-"},
+		strings.NewReader("w0 r1\nr0 w1\nw0 w1\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "budget-exhausted") {
+		t.Fatalf("expected a budget-exhausted outcome:\n%s", out.String())
+	}
+	if code != 1 {
+		t.Errorf("budget-exhausted exploration exited %d, want 1", code)
+	}
+}

@@ -48,7 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		Txns:           *txns,
 		Objects:        *objects,
 		OpsPerTxn:      *ops,
-		ReadFraction:   *readFrac,
+		ReadFraction:   gen.ExplicitReadFraction(*readFrac),
 		UniqueWrites:   *unique,
 		PAbort:         *pAbort,
 		PCommitPending: *pPending,

@@ -10,6 +10,15 @@
 //	         [-txns 2000] [-ops 4] [-read-frac 0.5] [-seed 1]
 //	         [-certify] [-episodes 20] [-jobs N] [-portfolio N]
 //	stmbench soak [-engines ...] [-rounds 6] [-seed 1] [-jobs N] [-portfolio N]
+//	stmbench explore [-engines ...] [-threads 2] [-txns 1] [-ops 2] [-plans 4]
+//	         [-seed 1] [-max-schedules N] [-jobs N] [-opacity]
+//
+// The explore subcommand replaces sampling with proof: for each engine it
+// enumerates *every* schedule of the deterministic stepper's space for a
+// set of small seeded plans (harness.ExplorePlan via
+// checkfarm.ExplorePlans) and reports a per-plan verdict — proven
+// du-opaque on all schedules of that space, violated with the causing
+// schedule pinned, or budget-exhausted with frontier stats.
 //
 // The soak subcommand runs the differential certification soak of
 // internal/checkfarm: every engine against every implemented criterion
@@ -30,6 +39,7 @@ import (
 	"duopacity/internal/checkfarm"
 	"duopacity/internal/harness"
 	"duopacity/internal/spec"
+	"duopacity/internal/stm"
 	"duopacity/internal/stm/engines"
 )
 
@@ -43,6 +53,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "soak" {
 		return runSoak(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "explore" {
+		return runExplore(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("stmbench", flag.ContinueOnError)
 	engineList := fs.String("engines", strings.Join(engines.Names(), ","), "comma-separated engines")
@@ -98,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 			Goroutines:       *goroutines,
 			TxnsPerGoroutine: *txns,
 			OpsPerTxn:        *ops,
-			ReadFraction:     *readFrac,
+			ReadFraction:     harness.ExplicitReadFraction(*readFrac),
 			Seed:             *seed,
 		})
 		if err != nil {
@@ -125,7 +138,7 @@ func run(args []string, stdout io.Writer) error {
 				Goroutines:       8,
 				TxnsPerGoroutine: 3,
 				OpsPerTxn:        6,
-				ReadFraction:     *readFrac,
+				ReadFraction:     harness.ExplicitReadFraction(*readFrac),
 				Seed:             *seed,
 			},
 			Episodes:    *episodes,
@@ -143,6 +156,75 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+// runExplore is the systematic certification mode: per engine, a set of
+// seeded small plans is enumerated exhaustively — every schedule of the
+// deterministic stepper's space for every plan — and each plan gets a
+// proof (du-opaque on all schedules of that space), a refutation pinned
+// at the causing schedule, or a budget report. This is the ROADMAP's
+// "prove small engines du-opaque per plan rather than sample them" as a
+// CLI surface.
+func runExplore(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stmbench explore", flag.ContinueOnError)
+	engineList := fs.String("engines", strings.Join(engines.Names(), ","), "comma-separated engines")
+	threads := fs.Int("threads", 2, "virtual threads per plan")
+	txns := fs.Int("txns", 1, "transactions per thread")
+	ops := fs.Int("ops", 2, "operations per transaction")
+	objects := fs.Int("objects", 2, "number of t-objects")
+	readFrac := fs.Float64("read-frac", 0.5, "fraction of reads")
+	seed := fs.Int64("seed", 1, "plan seed")
+	plans := fs.Int("plans", 4, "seeded plans per engine")
+	budget := fs.Int("max-schedules", 0, "schedules per exploration (0 = default)")
+	maxAttempts := fs.Int("max-attempts", 0, "retry bound per transaction (0 = default)")
+	jobs := fs.Int("jobs", 0, "shard plans across this many workers (0 = GOMAXPROCS)")
+	opacity := fs.Bool("opacity", false, "explore opacity instead of du-opacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*engineList, ",")
+	rf := harness.ExplicitReadFraction(*readFrac)
+	cfg := harness.ExploreConfig{
+		MaxSchedules: *budget,
+		MaxAttempts:  *maxAttempts,
+	}
+	if *opacity {
+		cfg.Criterion = spec.Opacity
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		ps := make([]stm.Plan, *plans)
+		for i := range ps {
+			ps[i] = harness.PlanOf(harness.Workload{
+				Engine:           name,
+				Objects:          *objects,
+				Goroutines:       *threads,
+				TxnsPerGoroutine: *txns,
+				OpsPerTxn:        *ops,
+				ReadFraction:     rf,
+				Seed:             *seed + int64(i),
+			})
+		}
+		reports, err := checkfarm.ExplorePlans(context.Background(), name, ps, cfg, *jobs)
+		if err != nil {
+			return err
+		}
+		proven, violated, budgeted := 0, 0, 0
+		for _, r := range reports {
+			switch r.Outcome {
+			case harness.ProvenDUOpaque:
+				proven++
+			case harness.ViolationFound:
+				violated++
+			default:
+				budgeted++
+			}
+		}
+		fmt.Fprintf(stdout, "== %s: %d proven, %d violated, %d budget-exhausted ==\n",
+			name, proven, violated, budgeted)
+		fmt.Fprint(stdout, harness.FormatExploreTable(reports))
 	}
 	return nil
 }

@@ -75,3 +75,22 @@ func TestRunSoakUnknownEngine(t *testing.T) {
 		t.Fatal("unknown engine accepted by soak")
 	}
 }
+
+func TestRunExploreSubcommand(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"explore", "-engines", "tl2,ple", "-plans", "2", "-threads", "2", "-txns", "1", "-ops", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tl2", "ple", "proven", "du-opacity", "schedules"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explore report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunExploreUnknownEngine(t *testing.T) {
+	if err := run([]string{"explore", "-engines", "bogus", "-plans", "1"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown engine accepted by explore")
+	}
+}

@@ -111,6 +111,13 @@ type (
 	Recorder = recorder.Recorder
 	// RecordedTxn is a recorded transaction.
 	RecordedTxn = recorder.Txn
+	// Plan is a deterministic multi-threaded transactional program — the
+	// unit the schedule explorer enumerates.
+	Plan = stm.Plan
+	// PlanOp is one operation of a planned transaction.
+	PlanOp = stm.PlanOp
+	// PlanTxn is the operation list of one planned transaction.
+	PlanTxn = stm.PlanTxn
 )
 
 // Harness types (see internal/harness).
@@ -125,6 +132,21 @@ type (
 	CertStats = harness.CertStats
 	// OnlineReport is the outcome of one online-monitored episode.
 	OnlineReport = harness.OnlineReport
+	// ExploreConfig parameterizes an exhaustive schedule exploration.
+	ExploreConfig = harness.ExploreConfig
+	// ExploreReport is the per-plan verdict of an exploration.
+	ExploreReport = harness.ExploreReport
+	// ExploreOutcome classifies an exploration's result.
+	ExploreOutcome = harness.ExploreOutcome
+)
+
+// The exploration outcomes: a plan is proven (every schedule of the
+// deterministic stepper's space enumerated, none violates), refuted with
+// the causing schedule pinned, or left undecided by the budget.
+const (
+	ProvenDUOpaque  = harness.ProvenDUOpaque
+	ViolationFound  = harness.ViolationFound
+	BudgetExhausted = harness.BudgetExhausted
 )
 
 // ErrAborted is returned by transactional operations of aborted
@@ -221,6 +243,30 @@ func Certify(cfg CertConfig, criteria []Criterion) (CertStats, error) {
 func RunMonitored(w Workload, c Criterion, nodeLimit int, interleaved bool) (OnlineReport, error) {
 	return harness.RunMonitored(w, c, nodeLimit, interleaved)
 }
+
+// ExplorePlan enumerates every schedule of the deterministic stepper's
+// space for the plan — the engine's exclusion policy plus the stepper's
+// abort-backoff discipline, the space the interleaved sampler draws from
+// — and certifies each online: the per-plan answer is a proof (no
+// schedule of that space violates the criterion), a refutation pinned at
+// the causing schedule and event, or budget exhaustion.
+func ExplorePlan(engine string, p Plan, cfg ExploreConfig) (ExploreReport, error) {
+	return harness.ExplorePlan(engine, p, cfg)
+}
+
+// ParsePlan reads a plan from its text form: one line per thread, '|'
+// between a thread's transactions, "r<obj>"/"w<obj>" operations.
+func ParsePlan(src string) (Plan, error) { return stm.ParsePlan(src) }
+
+// FormatExploreTable renders exploration reports as an aligned table,
+// one row per report, with any pinned violations below.
+func FormatExploreTable(reports []ExploreReport) string {
+	return harness.FormatExploreTable(reports)
+}
+
+// PlanOfWorkload exposes a workload's seeded per-goroutine transaction
+// programs as the Plan its runs execute.
+func PlanOfWorkload(w Workload) Plan { return harness.PlanOf(w) }
 
 // ParseHistory reads the text format of cmd/ducheck.
 func ParseHistory(r io.Reader) (*History, error) { return histio.Parse(r) }

@@ -1,20 +1,35 @@
 // Package checkfarm parallelizes the repository's certification pipeline:
-// it shards the episodes of harness.Certify, the cells of harness.Sweep
-// and batches of parsed histories across a bounded worker pool with
-// context cancellation, deterministic per-shard seeding and ordered result
+// it shards the episodes of harness.Certify, the cells of harness.Sweep,
+// batches of parsed histories (CheckBatch) and exhaustive plan
+// explorations (ExplorePlans) across a bounded worker pool with context
+// cancellation, deterministic per-shard seeding and ordered result
 // aggregation, so parallel runs produce byte-identical results to the
-// sequential paths. On top of the pool, the differential soak mode
-// (Soak) runs every registered engine against every criterion over a
-// randomized workload grid, records divergences between criteria, and
-// shrinks each violating history to a minimal counterexample with
-// gen.Shrink.
+// sequential paths.
+//
+// The farm exists because the paper's claims are universally quantified:
+// du-opacity (Definition 3) must hold for *every* history an engine can
+// produce, so evidence scales with how many histories — and, since the
+// explorer, how many whole schedule spaces — can be checked per second.
+// Three modes cover the quantifier from different sides: Certify samples
+// recorded episodes per criterion; CertifyOnline certifies executions
+// while they run through spec.Monitor (prefix closure, Corollary 2,
+// latches violations at the causing event); ExplorePlans enumerates every
+// interleaving of the deterministic stepper's schedule space for small
+// plans and returns per-plan proofs over that space or pinned refutations
+// (harness.ExplorePlan). On top of the pool, the
+// differential soak mode (Soak) runs every registered engine against
+// every implemented criterion — du-opacity against final-state opacity
+// (Definition 4), opacity (Definition 5), TMS2/RCO (Section 4.2) and the
+// serializability baselines — over a randomized workload grid, records
+// divergences between criteria, and shrinks each violating history to a
+// minimal counterexample with gen.Shrink.
 //
 // Sharding is over independent units of work — each episode runs on a
-// fresh engine, each batch entry is its own history — so the only shared
-// state is the result slot a shard owns exclusively. spec.Check is safe
-// for concurrent use (each call builds its own search state and memo over
-// an immutable history), which the race-enabled tests of this package and
-// package spec pin down.
+// fresh engine, each batch entry is its own history, each exploration
+// replays its own plan — so the only shared state is the result slot a
+// shard owns exclusively. spec.Check is safe for concurrent use (each
+// call builds its own search state and memo over an immutable history),
+// which the race-enabled tests of this package and package spec pin down.
 package checkfarm
 
 import (
@@ -26,6 +41,7 @@ import (
 	"duopacity/internal/harness"
 	"duopacity/internal/history"
 	"duopacity/internal/spec"
+	"duopacity/internal/stm"
 )
 
 // resolveJobs clamps a worker count: 0 (or negative) means GOMAXPROCS,
@@ -286,6 +302,36 @@ func Sweep(ctx context.Context, cfg harness.SweepConfig, jobs int) ([]harness.Sw
 		return nil, err
 	}
 	return points, nil
+}
+
+// ExplorePlans runs the exhaustive schedule exploration of
+// harness.ExplorePlan for every plan, sharded across jobs workers, and
+// returns the reports in input order: results[i] is the per-plan verdict
+// (proven / violation with the pinned causing schedule / budget
+// exhausted) for plans[i]. Explorations are independent — each replays
+// its plan on fresh engines — and each is deterministic, so the sharded
+// reports are byte-identical to a sequential loop (the Certify
+// discipline). jobs <= 0 uses GOMAXPROCS. It backs ducheck's -explore
+// batch mode and stmbench's explore subcommand.
+//
+// cfg is shared by every shard: with jobs > 1 a cfg.OnSchedule callback
+// is invoked concurrently from all workers and must be safe for
+// concurrent use (a plain map accumulator, fine under a single
+// ExplorePlan call, races here).
+func ExplorePlans(ctx context.Context, engine string, plans []stm.Plan, cfg harness.ExploreConfig, jobs int) ([]harness.ExploreReport, error) {
+	results := make([]harness.ExploreReport, len(plans))
+	err := shard(ctx, len(plans), jobs, func(i int) error {
+		r, rerr := harness.ExplorePlan(engine, plans[i], cfg)
+		if rerr != nil {
+			return rerr
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // CheckBatch checks every history against every criterion across the

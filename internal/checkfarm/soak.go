@@ -82,10 +82,10 @@ func (c SoakConfig) withDefaults() SoakConfig {
 func (c SoakConfig) roundWorkload(r int) harness.Workload {
 	rng := rand.New(rand.NewSource(c.Seed*1_000_003 + int64(r)))
 	return harness.Workload{
-		Objects:          2 + rng.Intn(4),              // 2..5
-		Goroutines:       2 + rng.Intn(5),              // 2..6
-		TxnsPerGoroutine: 2 + rng.Intn(2),              // 2..3
-		OpsPerTxn:        2 + rng.Intn(5),              // 2..6
+		Objects:          2 + rng.Intn(4), // 2..5
+		Goroutines:       2 + rng.Intn(5), // 2..6
+		TxnsPerGoroutine: 2 + rng.Intn(2), // 2..3
+		OpsPerTxn:        2 + rng.Intn(5), // 2..6
 		ReadFraction:     []float64{0.3, 0.5, 0.7}[rng.Intn(3)],
 		Seed:             c.Seed + int64(r)*7_919_919,
 	}

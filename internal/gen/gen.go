@@ -31,7 +31,9 @@ type Config struct {
 	Objects   int // number of t-objects (default 3)
 	OpsPerTxn int // operations per transaction before the ending (default 3)
 	// ReadFraction is the probability that a generated operation is a
-	// read (default 0.5).
+	// read (default 0.5). 0 means unset; pass any negative value for an
+	// explicit zero — write-only histories (the harness.Workload
+	// contract).
 	ReadFraction float64
 	// UniqueWrites makes every written value globally unique (Theorem 11's
 	// hypothesis); otherwise values are drawn from [1, ValueRange].
@@ -50,6 +52,18 @@ type Config struct {
 	Seed  int64
 }
 
+// ExplicitReadFraction maps a user-facing read-fraction value (a CLI
+// flag, say) onto the sentinel contract shared by Config.ReadFraction
+// and harness.Workload.ReadFraction, where the zero value means "unset"
+// (default 0.5): an explicit 0 becomes the documented negative spelling,
+// so write-only histories and workloads stay expressible.
+func ExplicitReadFraction(f float64) float64 {
+	if f == 0 {
+		return -1
+	}
+	return f
+}
+
 func (c Config) withDefaults() Config {
 	if c.Txns == 0 {
 		c.Txns = 6
@@ -62,6 +76,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadFraction == 0 {
 		c.ReadFraction = 0.5
+	} else if c.ReadFraction < 0 {
+		c.ReadFraction = 0 // the documented "explicit zero": write-only
 	}
 	if c.ValueRange == 0 {
 		c.ValueRange = 3

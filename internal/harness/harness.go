@@ -1,7 +1,33 @@
-// Package harness drives the STM engines under configurable workloads,
-// measures throughput and abort rates, and certifies recorded episodes
-// against the correctness criteria of package spec. It backs the
-// cmd/stmbench tool, the certification example, and the engine benchmarks.
+// Package harness drives the STM engines under configurable workloads and
+// certifies what they did against the correctness criteria of the paper
+// (Attiya, Hans, Kuznetsov and Ravi, "Safety of Deferred Update in
+// Transactional Memory", ICDCS 2013). It is the reproduction of the
+// paper's experimental claim — deferred-update engines produce only
+// du-opaque histories (Definition 3), the pessimistic in-place engine
+// does not — as an executable pipeline, at three levels of assurance:
+//
+//   - Run / RunRecorded execute a Workload on real goroutines; recorded
+//     histories satisfy the unique-writes hypothesis of Theorem 11 (every
+//     written value is fresh), so checks take the fast path.
+//   - RunInterleaved replaces the Go scheduler with a deterministic
+//     stepwise scheduler: a seeded sample from the schedule space of the
+//     workload's plan (stm.Plan), reproducible bit-for-bit anywhere and
+//     able to steer through preemption windows real goroutines almost
+//     never hit.
+//   - ExplorePlan exhausts that same schedule space: every interleaving
+//     the engine's exclusion policy (policy.go) allows is enumerated and
+//     certified online, with the prefix-closure cut of Corollary 2, sleep
+//     sets, and symmetry reduction pruning redundant subtrees — turning
+//     per-plan certification from sampled evidence into a proof
+//     (ProvenDUOpaque / ViolationFound / BudgetExhausted).
+//
+// Certify aggregates episodes (sampled or, with CertConfig.Explore,
+// proven) per criterion; RunMonitored attaches a spec.Monitor to the
+// recorder's tap so violations are latched at the causing event while the
+// engine runs. Package checkfarm shards all of it across workers. The
+// package backs cmd/stmbench, cmd/ducheck -explore, the certification
+// examples and the engine benchmarks; see docs/ARCHITECTURE.md for the
+// pipeline map.
 package harness
 
 import (
@@ -13,6 +39,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"duopacity/internal/gen"
 	"duopacity/internal/history"
 	"duopacity/internal/recorder"
 	"duopacity/internal/spec"
@@ -28,6 +55,9 @@ type Workload struct {
 	TxnsPerGoroutine int
 	OpsPerTxn        int
 	// ReadFraction in [0,1] is the probability that an operation reads.
+	// 0 means unset (default 0.5); pass any negative value for an
+	// explicit zero — write-only workloads (normalized to 0 by the
+	// defaulting, so consumers always see a value in [0,1]).
 	ReadFraction float64
 	Seed         int64
 	// MaxAttempts bounds retries per transaction (default 10_000).
@@ -49,12 +79,22 @@ func (w Workload) withDefaults() Workload {
 	}
 	if w.ReadFraction == 0 {
 		w.ReadFraction = 0.5
+	} else if w.ReadFraction < 0 {
+		w.ReadFraction = 0 // the documented "explicit zero": write-only
 	}
 	if w.MaxAttempts == 0 {
 		w.MaxAttempts = 10_000
 	}
 	return w
 }
+
+// ExplicitReadFraction maps a user-facing read-fraction value (a CLI
+// flag, say) onto the sentinel contract shared by Workload.ReadFraction
+// and gen.Config.ReadFraction: the zero value means "unset" (default
+// 0.5), an explicit 0 becomes the documented negative spelling, so
+// write-only workloads and histories stay expressible. The canonical
+// definition lives with the lighter config, gen.ExplicitReadFraction.
+func ExplicitReadFraction(f float64) float64 { return gen.ExplicitReadFraction(f) }
 
 // RunStats summarizes a workload run.
 type RunStats struct {
@@ -82,31 +122,35 @@ func (s RunStats) AbortRate() float64 {
 	return float64(s.Aborts) / float64(total)
 }
 
-// txnBody describes one generated transaction: operation kinds and
-// objects; written values are drawn fresh per attempt from the value
+// planFor precomputes the per-goroutine operation mix so that the
+// measured section does no RNG work. The result is the workload's plan:
+// everything about the execution except the interleaving. Written values
+// are not planned — they are drawn fresh per attempt from the run's value
 // source so that retries stay distinguishable.
-type txnOp struct {
-	read bool
-	obj  int
-}
-
-// plan precomputes the per-goroutine operation mix so that the measured
-// section does no RNG work.
-func plan(w Workload) [][][]txnOp {
-	all := make([][][]txnOp, w.Goroutines)
+func planFor(w Workload) stm.Plan {
+	p := stm.Plan{Objects: w.Objects, Threads: make([][]stm.PlanTxn, w.Goroutines)}
 	for g := 0; g < w.Goroutines; g++ {
 		rng := rand.New(rand.NewSource(w.Seed + int64(g)*7919))
-		txns := make([][]txnOp, w.TxnsPerGoroutine)
+		txns := make([]stm.PlanTxn, w.TxnsPerGoroutine)
 		for i := range txns {
-			ops := make([]txnOp, w.OpsPerTxn)
+			ops := make(stm.PlanTxn, w.OpsPerTxn)
 			for j := range ops {
-				ops[j] = txnOp{read: rng.Float64() < w.ReadFraction, obj: rng.Intn(w.Objects)}
+				ops[j] = stm.PlanOp{Read: rng.Float64() < w.ReadFraction, Obj: rng.Intn(w.Objects)}
 			}
 			txns[i] = ops
 		}
-		all[g] = txns
+		p.Threads[g] = txns
 	}
-	return all
+	return p
+}
+
+// PlanOf exposes the seeded per-goroutine transaction programs of a
+// workload as an stm.Plan — the unit ExplorePlan enumerates and
+// checkfarm.ExplorePlans shards. The plan is a pure function of the
+// workload (seed, shape), exactly the programs Run, RunRecorded and
+// RunInterleaved execute.
+func PlanOf(w Workload) stm.Plan {
+	return planFor(w.withDefaults())
 }
 
 // Run executes the workload unrecorded and returns performance statistics.
@@ -116,7 +160,7 @@ func Run(w Workload) (RunStats, error) {
 	if err != nil {
 		return RunStats{}, err
 	}
-	plans := plan(w)
+	plans := planFor(w)
 	var commits, aborts, failed atomic.Int64
 	var vals atomic.Int64 // unique written values
 
@@ -126,16 +170,16 @@ func Run(w Workload) (RunStats, error) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for _, ops := range plans[g] {
+			for _, ops := range plans.Threads[g] {
 				attempts := 0
 				err := stm.AtomicallyN(eng, w.MaxAttempts, func(tx stm.Txn) error {
 					attempts++
 					for _, op := range ops {
-						if op.read {
-							if _, err := tx.Read(op.obj); err != nil {
+						if op.Read {
+							if _, err := tx.Read(op.Obj); err != nil {
 								return err
 							}
-						} else if err := tx.Write(op.obj, vals.Add(1)); err != nil {
+						} else if err := tx.Write(op.Obj, vals.Add(1)); err != nil {
 							return err
 						}
 					}
@@ -180,7 +224,7 @@ func runRecorded(w Workload, tap func(history.Event)) (*history.History, RunStat
 	if tap != nil {
 		rec.Tap(tap)
 	}
-	plans := plan(w)
+	plans := planFor(w)
 	var commits, aborts, failed atomic.Int64
 	var vals atomic.Int64
 
@@ -190,16 +234,16 @@ func runRecorded(w Workload, tap func(history.Event)) (*history.History, RunStat
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for _, ops := range plans[g] {
+			for _, ops := range plans.Threads[g] {
 				attempts := 0
 				err := atomicallyRecordedN(rec, w.MaxAttempts, func(tx *recorder.Txn) error {
 					attempts++
 					for _, op := range ops {
-						if op.read {
-							if _, err := tx.Read(op.obj); err != nil {
+						if op.Read {
+							if _, err := tx.Read(op.Obj); err != nil {
 								return err
 							}
-						} else if err := tx.Write(op.obj, vals.Add(1)); err != nil {
+						} else if err := tx.Write(op.Obj, vals.Add(1)); err != nil {
 							return err
 						}
 					}
@@ -267,6 +311,20 @@ type CertConfig struct {
 	// but undecided verdicts near the node limit may vary between runs;
 	// keep 0 for bit-reproducible statistics.
 	Portfolio int
+	// Explore certifies each episode by exhaustively exploring the
+	// episode plan's schedule space (ExplorePlan) instead of sampling one
+	// recorded run: an accepted episode means *no* schedule of the
+	// deterministic stepper's space — the engine's exclusion policy plus
+	// its abort-backoff discipline, the space RunInterleaved samples —
+	// violates the criterion, not that one sampled schedule passed.
+	// Criteria are restricted to the explorer's prefix-closed
+	// monitorable ones (du-opacity, opacity); budget
+	// exhaustion surfaces as an undecided verdict. Keep the workload shape
+	// small — the schedule space is exponential in the plan size.
+	Explore bool
+	// ExploreBudget bounds each episode exploration's schedule count when
+	// Explore is set (0 = the explorer's default, 1 << 17).
+	ExploreBudget int
 }
 
 // WithDefaults fills the zero fields of the configuration with the
@@ -332,6 +390,9 @@ type EpisodeReport struct {
 func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeReport, error) {
 	w := cfg.Workload
 	w.Seed = cfg.Workload.Seed + int64(ep)*episodeSeedStride
+	if cfg.Explore {
+		return exploreEpisode(cfg, w, criteria)
+	}
 	var (
 		h   *history.History
 		err error
@@ -354,6 +415,58 @@ func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeR
 	}
 	for _, c := range criteria {
 		r.Verdicts[c] = spec.Check(h, c, opts...)
+	}
+	return r, nil
+}
+
+// exploreEpisode is the CertConfig.Explore path of CertifyEpisode: the
+// episode's seeded plan is explored exhaustively per criterion, and the
+// per-plan verdicts (proven / violation with the pinned causing schedule /
+// budget-exhausted) are folded into the ordinary episode report so the
+// whole certification stack — AddEpisode, checkfarm.Certify, the CLIs —
+// aggregates proofs exactly as it aggregates samples.
+func exploreEpisode(cfg CertConfig, w Workload, criteria []spec.Criterion) (EpisodeReport, error) {
+	// Capture MaxAttempts before the sampler defaulting: its 10,000-retry
+	// default is sized for wall-clock runs, not exploration, where retry
+	// chains multiply the schedule space — an unset value must fall
+	// through to the explorer's own default (2), as ducheck -explore does.
+	maxAttempts := w.MaxAttempts
+	w = w.withDefaults()
+	p := planFor(w)
+	r := EpisodeReport{Verdicts: make(map[spec.Criterion]spec.Verdict, len(criteria))}
+	for _, c := range criteria {
+		er, err := ExplorePlan(w.Engine, p, ExploreConfig{
+			Criterion:            c,
+			MaxAttempts:          maxAttempts,
+			MaxSchedules:         cfg.ExploreBudget,
+			NodeLimit:            cfg.NodeLimit,
+			StopAtFirstViolation: true,
+		})
+		if err != nil {
+			return EpisodeReport{}, err
+		}
+		v := spec.Verdict{Criterion: c}
+		switch er.Outcome {
+		case ProvenDUOpaque:
+			v.OK = true
+		case ViolationFound:
+			v.Reason = fmt.Sprintf("schedule %v: %s", er.Violation.Schedule, er.Violation.Verdict.Reason)
+			if r.History == nil {
+				r.History = er.Violation.History
+			}
+		default: // BudgetExhausted
+			v.Undecided = true
+			if er.Undecided > 0 {
+				// The schedule space may even be exhausted: the blocker is
+				// the per-check node limit, not the exploration budget.
+				v.Reason = fmt.Sprintf("%d of %d schedules undecided at the %d-node check limit (raise NodeLimit)",
+					er.Undecided, er.Schedules, cfg.NodeLimit)
+			} else {
+				v.Reason = fmt.Sprintf("exploration budget exhausted after %d schedules (frontier depth %d)",
+					er.Replays, er.MaxFrontier)
+			}
+		}
+		r.Verdicts[c] = v
 	}
 	return r, nil
 }

@@ -294,3 +294,75 @@ func TestSweepUnknownEngine(t *testing.T) {
 		t.Fatal("unknown engine accepted")
 	}
 }
+
+// TestPlanOfReadFraction pins the ReadFraction defaulting contract: 0 is
+// unset (defaults to 0.5, mixed plans), any negative value is the
+// documented explicit zero (write-only plans).
+func TestPlanOfReadFraction(t *testing.T) {
+	base := Workload{Objects: 2, Goroutines: 2, TxnsPerGoroutine: 2, OpsPerTxn: 4, Seed: 3}
+
+	w := base
+	w.ReadFraction = -1
+	reads, writes := 0, 0
+	for _, th := range PlanOf(w).Threads {
+		for _, txn := range th {
+			for _, op := range txn {
+				if op.Read {
+					reads++
+				} else {
+					writes++
+				}
+			}
+		}
+	}
+	if reads != 0 || writes == 0 {
+		t.Errorf("negative ReadFraction: %d reads, %d writes; want write-only", reads, writes)
+	}
+
+	w.ReadFraction = 0 // unset: the 0.5 default must produce some reads
+	reads = 0
+	for _, th := range PlanOf(w).Threads {
+		for _, txn := range th {
+			for _, op := range txn {
+				if op.Read {
+					reads++
+				}
+			}
+		}
+	}
+	if reads == 0 {
+		t.Error("unset ReadFraction produced a write-only plan; want the 0.5 default")
+	}
+}
+
+// TestCertifyExploreDefaultMaxAttempts: with MaxAttempts unset, the
+// explore path must fall through to the explorer's exploration-sized
+// default (2), not inherit the sampler's 10,000-retry default — which
+// balloons the schedule space and turns provable episodes into
+// budget-exhausted undecideds.
+func TestCertifyExploreDefaultMaxAttempts(t *testing.T) {
+	cfg := CertConfig{
+		Workload: Workload{
+			Engine:           "tl2",
+			Objects:          2,
+			Goroutines:       2,
+			TxnsPerGoroutine: 2,
+			OpsPerTxn:        2,
+			ReadFraction:     0.5,
+			Seed:             5,
+		},
+		Episodes: 2,
+		Explore:  true,
+	}
+	stats, err := Certify(cfg, []spec.Criterion{spec.DUOpacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Undecided[spec.DUOpacity]; got != 0 {
+		t.Errorf("%d undecided episodes with default MaxAttempts (reason %q); want proofs",
+			got, stats.FirstReason[spec.DUOpacity])
+	}
+	if stats.Accepted[spec.DUOpacity] == 0 {
+		t.Error("no episode proven")
+	}
+}

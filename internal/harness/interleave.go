@@ -20,10 +20,15 @@ import (
 // whenever the plan contains it.
 //
 // Engines that block inside an operation are stepped under an exclusion
-// policy derived from the engine's locking discipline (see runnable), so
-// the single-threaded scheduler never deadlocks; for "gl", whose global
-// lock spans the whole transaction, this degenerates to the serial
-// execution the real engine produces anyway.
+// policy derived from the engine's locking discipline (the shared
+// schedulePolicy of policy.go, also used by ExplorePlan), so the
+// single-threaded scheduler never deadlocks; for "gl", whose global lock
+// spans the whole transaction, this degenerates to the serial execution
+// the real engine produces anyway.
+//
+// RunInterleaved samples exactly one schedule of the workload's plan; the
+// exhaustive counterpart enumerating every schedule the policy allows is
+// ExplorePlan.
 func RunInterleaved(w Workload) (*history.History, RunStats, error) {
 	return runInterleaved(w, nil)
 }
@@ -42,228 +47,25 @@ func runInterleaved(w Workload, tap func(history.Event)) (*history.History, RunS
 	if tap != nil {
 		rec.Tap(tap)
 	}
-	plans := plan(w)
-
-	threads := make([]*vthread, w.Goroutines)
-	for g := range threads {
-		threads[g] = &vthread{plan: plans[g]}
+	st := &stepper{
+		rec:         rec,
+		threads:     threadsFor(planFor(w)),
+		policy:      policyFor(w.Engine),
+		maxAttempts: w.MaxAttempts,
 	}
 	rng := rand.New(rand.NewSource(w.Seed*6364136223846793005 + 1442695040888963407))
-	sched := scheduler{
-		w:       w,
-		rec:     rec,
-		threads: threads,
-		rng:     rng,
-		excl:    exclusionFor(w.Engine),
+	buf := make([]int, 0, len(st.threads))
+	for {
+		r := st.runnable(buf)
+		if len(r) == 0 {
+			break // all threads done
+		}
+		st.step(st.threads[r[rng.Intn(len(r))]])
 	}
-	sched.run()
 	return rec.History(), RunStats{
 		Engine:  w.Engine,
-		Commits: sched.commits,
-		Aborts:  sched.aborts,
-		Failed:  sched.failed,
+		Commits: st.commits,
+		Aborts:  st.aborts,
+		Failed:  st.failed,
 	}, nil
-}
-
-// exclusion names the blocking discipline of an engine, so the stepwise
-// scheduler avoids steps that would block the single real goroutine.
-type exclusion uint8
-
-const (
-	// exclNone: every operation either completes or aborts; any
-	// interleaving is schedulable (tl2, norec, dstm, etl, etl+v).
-	exclNone exclusion = iota
-	// exclWriters: the first write blocks while another transaction that
-	// has written is still live (ple's global writer lock).
-	exclWriters
-	// exclWholeTxn: beginning a transaction blocks while any transaction
-	// is live (gl's global lock held from Begin to completion).
-	exclWholeTxn
-)
-
-func exclusionFor(engine string) exclusion {
-	switch engine {
-	case "gl":
-		return exclWholeTxn
-	case "ple":
-		return exclWriters
-	default:
-		return exclNone
-	}
-}
-
-// vthread is one virtual thread of the interleaved execution.
-type vthread struct {
-	plan [][]txnOp
-
-	txnIdx   int           // index of the current transaction in plan
-	opIdx    int           // next operation of the current attempt
-	attempts int           // attempts used for the current transaction
-	tx       *recorder.Txn // nil between transactions
-	wrote    bool          // current attempt has performed a write
-	backoff  bool          // aborted; waits for another thread to t-complete
-	done     bool
-}
-
-type scheduler struct {
-	w       Workload
-	rec     *recorder.Recorder
-	threads []*vthread
-	rng     *rand.Rand
-	excl    exclusion
-
-	vals    int64 // written-value source (unique writes)
-	commits int64
-	aborts  int64
-	failed  int64
-}
-
-func (s *scheduler) run() {
-	runnable := make([]int, 0, len(s.threads))
-	for {
-		runnable = runnable[:0]
-		for i, t := range s.threads {
-			if !t.done && !t.backoff && s.admissible(t) {
-				runnable = append(runnable, i)
-			}
-		}
-		if len(runnable) == 0 {
-			if !s.clearBackoffs() {
-				return // all threads done
-			}
-			continue
-		}
-		s.step(s.threads[runnable[s.rng.Intn(len(runnable))]])
-	}
-}
-
-// clearBackoffs lifts every backoff; it reports whether any thread was
-// waiting (false means the run is complete).
-func (s *scheduler) clearBackoffs() bool {
-	any := false
-	for _, t := range s.threads {
-		if !t.done && t.backoff {
-			t.backoff = false
-			any = true
-		}
-	}
-	return any
-}
-
-// admissible reports whether stepping t cannot block, under the engine's
-// exclusion policy.
-func (s *scheduler) admissible(t *vthread) bool {
-	switch s.excl {
-	case exclWholeTxn:
-		// Only beginning a transaction blocks; once inside, the thread
-		// holds the global lock and every step completes.
-		if t.tx != nil {
-			return true
-		}
-		for _, o := range s.threads {
-			if o != t && o.tx != nil {
-				return false
-			}
-		}
-		return true
-	case exclWriters:
-		// Only the first write of an attempt blocks, and only while
-		// another live transaction holds the writer lock. The begin step
-		// also executes the attempt's first operation, so a thread between
-		// transactions is gated on operation 0.
-		if t.wrote {
-			return true
-		}
-		next := t.opIdx
-		if t.tx == nil {
-			next = 0
-		}
-		ops := t.plan[t.txnIdx]
-		if next >= len(ops) || ops[next].read {
-			return true // commit and reads never block in ple
-		}
-		for _, o := range s.threads {
-			if o != t && o.tx != nil && o.wrote {
-				return false
-			}
-		}
-		return true
-	default:
-		return true
-	}
-}
-
-// step advances t by one t-operation (beginning the transaction first when
-// needed) and resolves commits, aborts and retries.
-func (s *scheduler) step(t *vthread) {
-	if t.tx == nil {
-		t.tx = s.rec.Begin()
-		t.attempts++
-		t.opIdx = 0
-		t.wrote = false
-	}
-	ops := t.plan[t.txnIdx]
-	if t.opIdx == len(ops) {
-		// All operations done: this step is the commit.
-		if err := t.tx.Commit(); err != nil {
-			s.resolveAbort(t)
-			return
-		}
-		s.commits++
-		s.aborts += int64(t.attempts - 1)
-		s.advance(t)
-		return
-	}
-	op := ops[t.opIdx]
-	var err error
-	if op.read {
-		_, err = t.tx.Read(op.obj)
-	} else {
-		s.vals++
-		err = t.tx.Write(op.obj, s.vals)
-		if err == nil {
-			t.wrote = true
-		}
-	}
-	if err != nil {
-		t.tx.Abort() // no-op when the recorder already observed A_k
-		s.resolveAbort(t)
-		return
-	}
-	t.opIdx++
-}
-
-// resolveAbort handles a failed attempt: either the transaction retries
-// (after backing off until some other thread t-completes a transaction,
-// which bounds retry storms in the single-threaded schedule) or it has
-// exhausted its attempts and fails.
-func (s *scheduler) resolveAbort(t *vthread) {
-	t.tx = nil
-	t.wrote = false
-	t.opIdx = 0
-	if t.attempts >= s.w.MaxAttempts {
-		s.failed++
-		s.aborts += int64(t.attempts - 1)
-		s.advance(t)
-		return
-	}
-	t.backoff = true
-}
-
-// advance moves t to its next planned transaction and lifts the backoff of
-// threads waiting on this one's completion.
-func (s *scheduler) advance(t *vthread) {
-	t.txnIdx++
-	t.opIdx = 0
-	t.attempts = 0
-	t.tx = nil
-	t.wrote = false
-	if t.txnIdx == len(t.plan) {
-		t.done = true
-	}
-	for _, o := range s.threads {
-		if o != t {
-			o.backoff = false
-		}
-	}
 }

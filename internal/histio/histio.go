@@ -1,5 +1,17 @@
 // Package histio reads and writes histories as text, so that the CLI
-// tools (cmd/ducheck, cmd/histgen) and test fixtures can exchange them.
+// tools (cmd/ducheck, cmd/histgen) and test fixtures — including the
+// golden counterexamples pinned under internal/harness/testdata — can
+// exchange them.
+//
+// The format transcribes the event notation of the paper's Section 2
+// (Attiya, Hans, Kuznetsov and Ravi, ICDCS 2013): a history is the
+// sequence of invocation and response events of t-operations read_k(X),
+// write_k(X,v) and tryC_k, with A_k ("A") the abort response, C_k ("C")
+// the commit response, and tryA_k ("trya") the explicit abort request.
+// Parsing validates well-formedness through the same incremental core as
+// history.FromEvents (via history.Stream in ParseEvents), so a file that
+// parses is a history in the paper's sense — Definition 1's per-
+// transaction sequential pattern included.
 //
 // The format is line-based; '#' starts a comment and blank lines are
 // skipped. Each line is either an event:

@@ -1,5 +1,6 @@
 // Package recorder instruments any stm.Engine so that concurrent runs
-// produce history.History values — the objects the paper's criteria judge.
+// produce history.History values — the histories of the paper's Section 2
+// model, the objects every criterion of package spec judges.
 //
 // Every t-operation is bracketed by an invocation event appended before the
 // engine is called and a response event appended after it returns, under a
@@ -7,7 +8,19 @@
 // linearizes an operation's effect inside its invocation–response window,
 // the recorded event order is a faithful history of the execution in the
 // paper's model: reads return values, aborts surface as A_k responses on
-// the aborting operation, and commits as tryC -> C_k.
+// the aborting operation, and commits as tryC_k -> C_k. The recorded
+// histories are well-formed by construction (each transaction's events
+// form the sequential pattern of Section 2: at most one pending operation,
+// nothing after t-completion), which FromEvents re-validates defensively.
+//
+// Two consumers sit on the capture path: History snapshots the events as
+// a batch history for the exact checkers, and Tap exposes each event the
+// moment it is linearized — the hook through which spec.Monitor certifies
+// an execution while it runs (harness.RunMonitored) and the schedule
+// explorer latches violations mid-schedule (harness.ExplorePlan, using
+// the prefix closure of Corollary 2). A transaction's position in the
+// real-time order of H (its t-completion preceding another's first event)
+// is therefore decided exactly where the engine decided it.
 package recorder
 
 import (

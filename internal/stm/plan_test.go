@@ -1,0 +1,95 @@
+package stm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	src := "w0 | r0 r1\nw1"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Objects != 2 {
+		t.Errorf("Objects = %d, want 2", p.Objects)
+	}
+	if p.NumTxns() != 3 || p.NumOps() != 4 || p.Steps() != 7 {
+		t.Errorf("NumTxns/NumOps/Steps = %d/%d/%d, want 3/4/7", p.NumTxns(), p.NumOps(), p.Steps())
+	}
+	if got := p.String(); got != src {
+		t.Errorf("String = %q, want %q", got, src)
+	}
+	// A formatted plan must re-parse to the same plan.
+	q, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != p.String() || q.Objects != p.Objects {
+		t.Errorf("round trip diverged: %q vs %q", q.String(), p.String())
+	}
+}
+
+func TestParsePlanCommentsAndBlank(t *testing.T) {
+	p, err := ParsePlan("# litmus: ple reads an uncommitted write\n\nw0  # writer\nr0 r0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Threads) != 2 || p.Objects != 1 {
+		t.Errorf("got %d threads, %d objects; want 2, 1", len(p.Threads), p.Objects)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, src := range []string{
+		"",          // no threads
+		"w0 |",      // empty transaction
+		"x0",        // bad op kind
+		"r",         // missing object
+		"rX",        // non-numeric object
+		"w-1",       // negative object
+		"w0\nr0 | ", // empty transaction on a later line
+	} {
+		if _, err := ParsePlan(src); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", src)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := Plan{Objects: 2, Threads: [][]PlanTxn{{{{Read: true, Obj: 1}}}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := Plan{Objects: 1, Threads: [][]PlanTxn{{{{Read: true, Obj: 1}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range object accepted")
+	}
+	noTxns := Plan{Objects: 1, Threads: [][]PlanTxn{{}}}
+	if err := noTxns.Validate(); err == nil {
+		t.Error("thread without transactions accepted")
+	}
+	emptyTxn := Plan{Objects: 1, Threads: [][]PlanTxn{{{}}}}
+	if err := emptyTxn.Validate(); err == nil {
+		t.Error("empty transaction accepted")
+	}
+}
+
+func TestMustParsePlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePlan did not panic on bad input")
+		}
+	}()
+	MustParsePlan("bogus")
+}
+
+func TestParsePlanLargeObjects(t *testing.T) {
+	p := MustParsePlan("r10 w3")
+	if p.Objects != 11 {
+		t.Errorf("Objects = %d, want 11", p.Objects)
+	}
+	if !strings.Contains(p.String(), "r10 w3") {
+		t.Errorf("String = %q", p.String())
+	}
+}
