@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"duopacity/internal/checkfarm"
 	"duopacity/internal/gen"
@@ -610,6 +611,109 @@ func TestMonitorBeatsNaiveRecheckSmoke(t *testing.T) {
 	if 2*monitor.NsPerOp() >= recheck.NsPerOp() {
 		t.Fatalf("monitor (%d ns/stream) does not beat naive rechecking (%d ns/stream) with a 2x margin",
 			monitor.NsPerOp(), recheck.NsPerOp())
+	}
+}
+
+// longSeqStream builds n sequential committed read-write transactions
+// round-robin over objs objects — the canonical long monitored stream
+// (du-opaque by construction, every transaction t-completes).
+func longSeqStream(n, objs int) []history.Event {
+	evs := make([]history.Event, 0, 6*n)
+	last := make([]history.Value, objs)
+	for k := 1; k <= n; k++ {
+		oi := k % objs
+		obj := history.Var(fmt.Sprintf("X%d", oi))
+		evs = append(evs,
+			history.Event{Kind: history.Inv, Op: history.OpRead, Txn: history.TxnID(k), Obj: obj},
+			history.Event{Kind: history.Res, Op: history.OpRead, Txn: history.TxnID(k), Obj: obj, Val: last[oi], Out: history.OutOK},
+			history.Event{Kind: history.Inv, Op: history.OpWrite, Txn: history.TxnID(k), Obj: obj, Arg: history.Value(k)},
+			history.Event{Kind: history.Res, Op: history.OpWrite, Txn: history.TxnID(k), Obj: obj, Arg: history.Value(k), Out: history.OutOK},
+			history.Event{Kind: history.Inv, Op: history.OpTryCommit, Txn: history.TxnID(k)},
+			history.Event{Kind: history.Res, Op: history.OpTryCommit, Txn: history.TxnID(k), Out: history.OutCommit},
+		)
+		last[oi] = history.Value(k)
+	}
+	return evs
+}
+
+// BenchmarkMonitorLongStream is the gate for the lifted 64-transaction
+// ceiling and windowed retirement: a monitor with retirement consumes a
+// long stream at flat cost per event — ns/event must not grow between
+// txns=1000 and txns=10000 — with every response decided OK, where the
+// old monitor went permanently undecided at transaction 65. The reported
+// ns/event metric makes the flatness visible across the sub-benchmarks.
+func BenchmarkMonitorLongStream(b *testing.B) {
+	for _, n := range []int{1000, 10_000} {
+		evs := longSeqStream(n, 4)
+		b.Run(fmt.Sprintf("txns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := spec.NewMonitor(spec.DUOpacity, spec.WithRetirement(32))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range evs {
+					if _, err := m.Append(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if v := m.Verdict(); !v.OK || v.Undecided {
+					b.Fatalf("stream must stay decided OK: %+v", v)
+				}
+				if m.Retired() == 0 {
+					b.Fatal("retirement never fired")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(evs)), "ns/event")
+		})
+	}
+}
+
+// TestMonitorLongStreamSmoke is the CI gate behind BenchmarkMonitorLongStream:
+// a 10k-transaction stream is decided OK at every response, the live index
+// stays bounded by the retirement window, and the per-event cost is flat —
+// the last quarter of the stream may not cost more than 3x the second
+// quarter (the first quarter is excluded as warm-up; a monitor whose cost
+// grows with history length fails by a wide margin, the pre-retirement
+// monitor's last quarter being >100x its second).
+func TestMonitorLongStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	const (
+		n      = 10_000
+		window = 32
+	)
+	evs := longSeqStream(n, 4)
+	m, err := spec.NewMonitor(spec.DUOpacity, spec.WithRetirement(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := len(evs) / 4
+	var qdur [4]time.Duration
+	for q := 0; q < 4; q++ {
+		chunk := evs[q*quarter : (q+1)*quarter]
+		start := time.Now()
+		for i, e := range chunk {
+			v, err := m.Append(e)
+			if err != nil {
+				t.Fatalf("quarter %d event %d: %v", q, i, err)
+			}
+			if !v.OK || v.Undecided {
+				t.Fatalf("quarter %d event %d: verdict %+v, want decided OK", q, i, v)
+			}
+		}
+		qdur[q] = time.Since(start)
+		if live := m.LiveTxns(); live > 2*window+1 {
+			t.Fatalf("quarter %d: %d live transactions, want <= %d", q, live, 2*window+1)
+		}
+	}
+	t.Logf("quarter durations: %v (live=%d retired=%d)", qdur, m.LiveTxns(), m.Retired())
+	if m.Retired() < n-2*window-1 {
+		t.Fatalf("Retired = %d, want nearly all of %d", m.Retired(), n)
+	}
+	if qdur[3] > 3*qdur[1] {
+		t.Fatalf("per-event cost is not flat: quarter 4 took %v, quarter 2 took %v", qdur[3], qdur[1])
 	}
 }
 

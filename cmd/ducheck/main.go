@@ -6,7 +6,7 @@
 //
 //	ducheck [-criteria du,opacity,...] [-witness] file...
 //	ducheck -parallel [-jobs N] [-portfolio N] file...
-//	ducheck -follow [-criteria du,opacity,finalstate] [-]
+//	ducheck -follow [-criteria du,opacity,finalstate] [-retire N] [-]
 //	ducheck -explore -engine tl2 [-criteria du,opacity] [-max-schedules N] plan...
 //
 // With several files (or -parallel), every file is checked against every
@@ -24,6 +24,9 @@
 // while the producer is still running. Only the monitorable criteria
 // (du, opacity, finalstate) are allowed with -follow. Malformed lines
 // are reported on stderr and skipped; the monitors are unaffected.
+// -retire N bounds the monitors' memory on unbounded streams: settled
+// committed transactions are checkpointed and discarded once more than N
+// are live, without changing any verdict.
 //
 // -explore changes the input from histories to *plans* (one thread per
 // line, '|' between a thread's transactions, "r<obj>"/"w<obj>"
@@ -93,6 +96,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		"fan each check's top-level search branches across this many workers (spec.WithParallelism; useful for one hard history, combine with -parallel for many)")
 	follow := fs.Bool("follow", false,
 		"monitor events from stdin as they arrive (streaming ingestion; criteria limited to du, opacity, finalstate)")
+	retire := fs.Int("retire", 0,
+		"with -follow: retire settled committed transactions once this many are live, bounding monitor memory on long streams (0 = keep everything)")
 	explore := fs.Bool("explore", false,
 		"arguments are plan files (internal/stm text format), not histories: enumerate every schedule of the deterministic stepper's space for each plan and prove or refute it (criteria limited to du, opacity)")
 	engine := fs.String("engine", "tl2", "engine to explore plans on (with -explore)")
@@ -123,7 +128,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		if !flagWasSet(fs, "criteria") {
 			criteria = []spec.Criterion{spec.DUOpacity, spec.Opacity, spec.FinalStateOpacity}
 		}
-		return runFollow(criteria, *nodeLimit, stdin, stdout)
+		return runFollow(criteria, *nodeLimit, *retire, stdin, stdout)
+	}
+	if flagWasSet(fs, "retire") {
+		return 2, fmt.Errorf("-retire only applies to -follow")
 	}
 
 	paths := fs.Args()
@@ -294,10 +302,19 @@ func runExplore(engine string, criteria []spec.Criterion, paths []string, stdinS
 // closure), so the exit status reflects whether any monitor ever
 // rejected. Malformed lines are reported on stderr and skipped; the
 // monitors are left untouched by them.
-func runFollow(criteria []spec.Criterion, nodeLimit int, stdin io.Reader, stdout io.Writer) (int, error) {
+//
+// retire > 0 enables windowed retirement: each monitor checkpoints its
+// settled committed prefix and discards the retired transactions, so a
+// long-running producer is followed in memory proportional to the live
+// window rather than the whole stream.
+func runFollow(criteria []spec.Criterion, nodeLimit, retire int, stdin io.Reader, stdout io.Writer) (int, error) {
 	monitors := make([]*spec.Monitor, len(criteria))
 	for i, c := range criteria {
-		m, err := spec.NewMonitor(c, spec.WithNodeLimit(nodeLimit))
+		opts := []spec.Option{spec.WithNodeLimit(nodeLimit)}
+		if retire > 0 {
+			opts = append(opts, spec.WithRetirement(retire))
+		}
+		m, err := spec.NewMonitor(c, opts...)
 		if err != nil {
 			return 2, fmt.Errorf("-follow: %w", err)
 		}
@@ -352,9 +369,13 @@ func runFollow(criteria []spec.Criterion, nodeLimit int, stdin io.Reader, stdout
 		return 2, err
 	}
 	violations := 0
-	for _, m := range monitors {
+	for i, m := range monitors {
 		v := m.Verdict()
 		fmt.Fprintln(stdout, v)
+		if retire > 0 {
+			fmt.Fprintf(stdout, "%v: %d events, %d transactions retired, %d live\n",
+				criteria[i], m.Len(), m.Retired(), m.LiveTxns())
+		}
 		if !v.OK && !v.Undecided {
 			violations++
 		}

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -158,6 +161,52 @@ func TestFollowSkipsMalformedLines(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "du-opacity: OK") {
 		t.Fatalf("missing final verdict:\n%s", out.String())
+	}
+}
+
+func TestFollowRetireBoundsLiveWindow(t *testing.T) {
+	// A long sequential stream with -retire: the monitor checkpoints the
+	// settled committed prefix as it goes, so the final summary reports
+	// most transactions retired and a small live window — with every
+	// per-event verdict still decided (no "undecided" anywhere).
+	var src strings.Builder
+	const n = 200
+	for k := 1; k <= n; k++ {
+		fmt.Fprintf(&src, "write %d X %d\ncommit %d\n", k, k%4, k)
+	}
+	var out strings.Builder
+	code, err := run([]string{"-follow", "-criteria", "du", "-retire", "8"}, strings.NewReader(src.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "undecided") {
+		t.Fatalf("retirement left a prefix undecided:\n%s", s)
+	}
+	if !strings.Contains(s, "du-opacity: OK") {
+		t.Fatalf("missing final verdict:\n%s", s)
+	}
+	m := regexp.MustCompile(`(\d+) events, (\d+) transactions retired, (\d+) live`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("missing retirement summary line:\n%s", s)
+	}
+	events, _ := strconv.Atoi(m[1])
+	retired, _ := strconv.Atoi(m[2])
+	live, _ := strconv.Atoi(m[3])
+	if events != 4*n {
+		t.Errorf("events = %d, want %d", events, 4*n)
+	}
+	if retired < n-17 || live > 17 {
+		t.Errorf("retired=%d live=%d: window not bounded over %d transactions", retired, live, n)
+	}
+}
+
+func TestRetireRequiresFollow(t *testing.T) {
+	if code, err := run([]string{"-retire", "8", "somefile"}, nil, &strings.Builder{}); err == nil || code != 2 {
+		t.Fatalf("-retire without -follow: code=%d err=%v, want input error", code, err)
 	}
 }
 

@@ -187,6 +187,12 @@ func WithNodeLimit(n int) CheckOption { return spec.WithNodeLimit(n) }
 // workers.
 func WithParallelism(n int) CheckOption { return spec.WithParallelism(n) }
 
+// WithRetirement lets a Monitor checkpoint and discard its settled
+// committed prefix once more than window transactions are live, bounding
+// memory on unbounded streams without changing any verdict. Ignored by
+// batch checks.
+func WithRetirement(window int) CheckOption { return spec.WithRetirement(window) }
+
 // WithTMS2AbortedReaderExemption drops TMS2 conflict-order edges sourced
 // at aborted readers (the alternative reading of the paper's informal
 // TMS2 statement; see internal/spec for the interpretation question).

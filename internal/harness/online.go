@@ -26,6 +26,9 @@ type OnlineReport struct {
 	// Searches and FastHits are the monitor's cost counters: full
 	// serialization searches vs. incremental witness reuses.
 	Searches, FastHits int
+	// Retired counts transactions garbage-collected by windowed
+	// retirement; it stays 0 unless spec.WithRetirement was passed.
+	Retired int
 	// Stats summarizes the underlying run.
 	Stats RunStats
 }
@@ -37,15 +40,18 @@ type OnlineReport struct {
 // through a batch check afterwards. interleaved selects the
 // deterministic stepwise scheduler (reproducible event order) over real
 // goroutines; nodeLimit <= 0 leaves the per-check search unbounded.
+// Further monitor options (such as spec.WithRetirement for long-running
+// workloads) pass through extra.
 //
 // The monitor runs inside the recorder's capture mutex, so the monitored
 // engine's operations serialize through the check; use RunRecorded plus a
 // batch check when measuring engine throughput.
-func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool) (OnlineReport, error) {
+func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool, extra ...spec.Option) (OnlineReport, error) {
 	var opts []spec.Option
 	if nodeLimit > 0 {
 		opts = append(opts, spec.WithNodeLimit(nodeLimit))
 	}
+	opts = append(opts, extra...)
 	m, err := spec.NewMonitor(c, opts...)
 	if err != nil {
 		return OnlineReport{}, err
@@ -79,6 +85,7 @@ func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool)
 		Events:      events,
 		Searches:    searches,
 		FastHits:    fastHits,
+		Retired:     m.Retired(),
 		Stats:       stats,
 	}, nil
 }

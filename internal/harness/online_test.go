@@ -98,6 +98,42 @@ func TestRunMonitoredConcurrent(t *testing.T) {
 	}
 }
 
+// TestRunMonitoredWithRetirement pins the option pass-through: a
+// monitored run with spec.WithRetirement must reach the same verdict as
+// the plain monitored run, and on a sequential workload (every
+// transaction a retirement barrier) it must actually retire.
+func TestRunMonitoredWithRetirement(t *testing.T) {
+	w := Workload{
+		Engine:           "tl2",
+		Objects:          3,
+		Goroutines:       1,
+		TxnsPerGoroutine: 40,
+		OpsPerTxn:        3,
+		ReadFraction:     0.4,
+		Seed:             11,
+	}
+	plain, err := RunMonitored(w, spec.DUOpacity, 2_000_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Retired != 0 {
+		t.Fatalf("retirement fired without WithRetirement: %d", plain.Retired)
+	}
+	ret, err := RunMonitored(w, spec.DUOpacity, 2_000_000, true, spec.WithRetirement(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Verdict.OK != plain.Verdict.OK || ret.Verdict.Undecided != plain.Verdict.Undecided {
+		t.Fatalf("retiring verdict %v diverges from plain %v", ret.Verdict, plain.Verdict)
+	}
+	if ret.Events != plain.Events {
+		t.Fatalf("retiring run saw %d events, plain %d", ret.Events, plain.Events)
+	}
+	if ret.Retired == 0 {
+		t.Fatal("sequential workload retired nothing")
+	}
+}
+
 // TestCertifyEpisodeOnlineSeeding pins that online episodes cover the
 // same executions as batch episodes (same seed derivation).
 func TestCertifyEpisodeOnlineSeeding(t *testing.T) {

@@ -2,11 +2,6 @@ package history
 
 import "sort"
 
-// maxMaskTxns bounds the bitmask views of the index: histories with more
-// transactions carry no masks (MasksValid reports which case holds). It
-// matches the exact checkers' 64-transaction limit.
-const maxMaskTxns = 64
-
 // Indexed is the dense, precomputed view of a history that the decision
 // procedures (package spec), the proof constructions (package koenig) and
 // the online monitor share. It replaces the per-check rebuilding of
@@ -34,16 +29,23 @@ type Indexed struct {
 	// Txns holds the per-transaction summaries, parallel to TxnIDs.
 	Txns []IndexedTxn
 
-	// The bitmask views below are populated only when the history has at
-	// most 64 transactions (the exact checkers' limit); they are nil
-	// otherwise and MasksValid reports which case holds.
-	MasksValid bool
+	// The bitset views below are always populated; multi-word Bits rows
+	// lifted the old 64-transaction mask ceiling (and with it the
+	// MasksValid degradation path, which is gone).
+	//
 	// RTPred[i] is the set of transactions that real-time precede
-	// transaction i (Definition 3, condition 2).
-	RTPred []uint64
+	// transaction i (Definition 3, condition 2). Row i holds exactly
+	// bitsWords(i) words: dense order is first-appearance order, so only
+	// lower-indexed transactions can real-time precede i.
+	RTPred []Bits
 	// Writers[o] is the set of transactions with a successful (last) write
-	// to object o — the candidate sources of a read of o.
-	Writers []uint64
+	// to object o — the candidate sources of a read of o. Rows are sized
+	// to their highest-indexed writer (nil when the object was never
+	// written).
+	Writers []Bits
+	// TComplete is the set of t-complete transactions, sized to its
+	// highest-indexed member.
+	TComplete Bits
 }
 
 // IndexedTxn is the per-transaction summary of the view.
@@ -209,21 +211,34 @@ func buildIndex(h *History) *Indexed {
 		sort.Slice(it.Writes, func(a, b int) bool { return it.Writes[a].Obj < it.Writes[b].Obj })
 	}
 
-	if n <= maxMaskTxns {
-		ix.MasksValid = true
-		ix.RTPred = make([]uint64, n)
-		ix.Writers = make([]uint64, len(ix.Objs))
-		for i := range ix.Txns {
-			it := &ix.Txns[i]
-			bit := uint64(1) << uint(i)
-			for _, w := range it.Writes {
-				ix.Writers[w.Obj] |= bit
-			}
-			if it.TComplete {
-				for m := range ix.Txns {
-					if m != i && it.Last < ix.Txns[m].First {
-						ix.RTPred[m] |= bit
-					}
+	// Bitset views. RTPred rows come out of one slab (row i spans
+	// bitsWords(i) words — only lower-indexed transactions can precede i),
+	// matching the shapes the stream's incremental maintenance produces.
+	totalWords := 0
+	for i := 0; i < n; i++ {
+		totalWords += bitsWords(i)
+	}
+	slab := make([]uint64, totalWords)
+	ix.RTPred = make([]Bits, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		w := bitsWords(i)
+		ix.RTPred[i] = Bits(slab[off : off+w : off+w])
+		off += w
+	}
+	ix.Writers = make([]Bits, len(ix.Objs))
+	for i := range ix.Txns {
+		it := &ix.Txns[i]
+		for _, w := range it.Writes {
+			ix.Writers[w.Obj] = ix.Writers[w.Obj].SetGrow(i)
+		}
+		if it.TComplete {
+			ix.TComplete = ix.TComplete.SetGrow(i)
+			// Only later-indexed transactions can real-time follow i: dense
+			// order is first-appearance order.
+			for m := i + 1; m < n; m++ {
+				if it.Last < ix.Txns[m].First {
+					ix.RTPred[m].Set(i)
 				}
 			}
 		}

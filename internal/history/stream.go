@@ -34,21 +34,19 @@ type Stream struct {
 	h *History
 	// ix is the incrementally maintained live index, nil for the batch
 	// wrappers (whose histories build the index lazily on first use).
+	// ix.TComplete doubles as the registration source for new
+	// transactions: a transaction's real-time predecessors are exactly
+	// the transactions already t-complete at its first event.
 	ix *Indexed
-	// tComplete is the mask of t-complete transactions, maintained while
-	// ix.MasksValid so that a new transaction's real-time predecessors are
-	// exactly the transactions already t-complete at its first event.
-	tComplete uint64
 }
 
 // NewStream returns an empty stream with live incremental indexing.
 func NewStream() *Stream {
 	s := newStreamOver(&History{})
 	s.ix = &Indexed{
-		H:          s.h,
-		objIdx:     make(map[Var]int),
-		txnIdx:     make(map[TxnID]int),
-		MasksValid: true,
+		H:      s.h,
+		objIdx: make(map[Var]int),
+		txnIdx: make(map[TxnID]int),
 	}
 	s.h.idx = s.ix
 	s.h.idxOnce.Do(func() {}) // the live index is the history's index
@@ -130,17 +128,10 @@ func (s *Stream) addTxn(t *TxnInfo) {
 	ix.TxnIDs = append(ix.TxnIDs, t.ID)
 	ix.txnIdx[t.ID] = gi
 	ix.Txns = append(ix.Txns, IndexedTxn{Info: t, BadReadOp: -1, TryCInv: -1, TryCRes: -1})
-	if !ix.MasksValid {
-		return
-	}
-	if gi >= maxMaskTxns {
-		// The 64-transaction bitmask views no longer apply; drop them, as
-		// the batch index builder does for large histories.
-		ix.MasksValid = false
-		ix.RTPred, ix.Writers = nil, nil
-		return
-	}
-	ix.RTPred = append(ix.RTPred, s.tComplete)
+	// The new transaction's real-time predecessors are the transactions
+	// t-complete right now, cloned to the row shape the batch builder
+	// produces (bitsWords(gi) words: only lower indexes can precede gi).
+	ix.RTPred = append(ix.RTPred, ix.TComplete.CloneWords(bitsWords(gi)))
 }
 
 // objIndex returns the dense index of v, registering it on first use.
@@ -151,9 +142,7 @@ func (s *Stream) objIndex(v Var) int {
 	oi := len(s.ix.Objs)
 	s.ix.Objs = append(s.ix.Objs, v)
 	s.ix.objIdx[v] = oi
-	if s.ix.MasksValid {
-		s.ix.Writers = append(s.ix.Writers, 0)
-	}
+	s.ix.Writers = append(s.ix.Writers, nil)
 	return oi
 }
 
@@ -181,9 +170,7 @@ func (s *Stream) index(_ int, e Event, t *TxnInfo) {
 	if e.Out != OutOK {
 		it.TComplete = true
 		it.Committed = e.Out == OutCommit
-		if ix.MasksValid {
-			s.tComplete |= uint64(1) << uint(gi)
-		}
+		ix.TComplete = ix.TComplete.SetGrow(gi)
 	}
 	switch {
 	case op.Kind == OpRead && op.Out == OutOK:
@@ -215,9 +202,7 @@ func (s *Stream) indexRead(it *IndexedTxn, op Op) {
 // summary (kept sorted by object index) and the per-object writer mask.
 func (s *Stream) indexWrite(it *IndexedTxn, gi int, op Op) {
 	oi := s.objIndex(op.Obj)
-	if s.ix.MasksValid {
-		s.ix.Writers[oi] |= uint64(1) << uint(gi)
-	}
+	s.ix.Writers[oi] = s.ix.Writers[oi].SetGrow(gi)
 	pos := len(it.Writes)
 	for wi := range it.Writes {
 		if it.Writes[wi].Obj == oi {

@@ -13,8 +13,12 @@ import (
 // error paths, not just the happy path.
 func decodeEvent(b0, b1, b2 byte) history.Event {
 	e := history.Event{
-		Op:  history.OpKind(b0%4 + 1),
-		Txn: history.TxnID(b1 % 6), // 0 hits the reserved-id rejection
+		Op: history.OpKind(b0%4 + 1),
+		// 144 ids: 0 hits the reserved-id rejection, and the range is wide
+		// enough for mutated inputs to grow histories past 64 and 128
+		// transactions — the one- and two-word bitset boundaries the index
+		// and the checker must cross without degrading.
+		Txn: history.TxnID(b1 % 144),
 	}
 	if b0&4 == 0 {
 		e.Kind = history.Inv
@@ -52,8 +56,18 @@ func FuzzStreamDifferential(f *testing.F) {
 	})
 	// Invalid attempts mixed in: orphan response, reserved id.
 	f.Add([]byte{4, 3, 0, 0, 0, 0, 1, 1, 4})
+	// 130 sequential committed writers: a seed that crosses both bitset
+	// word boundaries (64 and 128 transactions), so the corpus routinely
+	// mutates around them. Encoding per decodeEvent: write inv {1,k,b2},
+	// write ok res {5,k,b2}, tryC inv {2,k,0}, commit res {14,k,0}.
+	long := make([]byte, 0, 130*12)
+	for k := 1; k <= 130; k++ {
+		b2 := byte(k%4<<2) | byte(k%3)
+		long = append(long, 1, byte(k), b2, 5, byte(k), b2, 2, byte(k), 0, 14, byte(k), 0)
+	}
+	f.Add(long)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		const maxEvents = 200
+		const maxEvents = 600
 		s := history.NewStream()
 		var accepted []history.Event
 		for i := 0; i+3 <= len(data) && i/3 < maxEvents; i += 3 {

@@ -62,20 +62,24 @@ func equalIndexes(a, b *Indexed) error {
 			return fmt.Errorf("T%v flags differ", a.TxnIDs[i])
 		}
 	}
-	if a.MasksValid != b.MasksValid {
-		return fmt.Errorf("MasksValid: %v vs %v", a.MasksValid, b.MasksValid)
+	if len(a.RTPred) != len(b.RTPred) {
+		return fmt.Errorf("RTPred rows: %d vs %d", len(a.RTPred), len(b.RTPred))
 	}
-	if a.MasksValid {
-		for i := range a.RTPred {
-			if a.RTPred[i] != b.RTPred[i] {
-				return fmt.Errorf("RTPred[%d]: %x vs %x", i, a.RTPred[i], b.RTPred[i])
-			}
+	for i := range a.RTPred {
+		if !a.RTPred[i].Equal(b.RTPred[i]) {
+			return fmt.Errorf("RTPred[%d]: %x vs %x", i, a.RTPred[i], b.RTPred[i])
 		}
-		for o := range a.Writers {
-			if a.Writers[o] != b.Writers[o] {
-				return fmt.Errorf("Writers[%d]: %x vs %x", o, a.Writers[o], b.Writers[o])
-			}
+	}
+	if len(a.Writers) != len(b.Writers) {
+		return fmt.Errorf("Writers rows: %d vs %d", len(a.Writers), len(b.Writers))
+	}
+	for o := range a.Writers {
+		if !a.Writers[o].Equal(b.Writers[o]) {
+			return fmt.Errorf("Writers[%d]: %x vs %x", o, a.Writers[o], b.Writers[o])
 		}
+	}
+	if !a.TComplete.Equal(b.TComplete) {
+		return fmt.Errorf("TComplete: %x vs %x", a.TComplete, b.TComplete)
 	}
 	return nil
 }
@@ -267,12 +271,16 @@ func TestStreamSnapshotImmutable(t *testing.T) {
 	}
 }
 
-// TestStreamManyTxnsDropsMasks crosses the 64-transaction mask limit and
-// checks the incremental index agrees with the batch builder on both
-// sides of the boundary.
-func TestStreamManyTxnsDropsMasks(t *testing.T) {
+// TestStreamManyTxnsKeepsMasks crosses the old 64-transaction mask
+// ceiling — and the first two-word boundary at 128 — and checks the
+// bitset views stay populated and agree with the batch builder at every
+// boundary. (This inverts the pre-bitset TestStreamManyTxnsDropsMasks,
+// which asserted that both index builders silently dropped their masks
+// past 64 transactions; the single-word masks and their MasksValid
+// degradation path are gone.)
+func TestStreamManyTxnsKeepsMasks(t *testing.T) {
 	s := NewStream()
-	for k := 1; k <= maxMaskTxns+4; k++ {
+	for k := 1; k <= 132; k++ {
 		id := TxnID(k)
 		evs := []Event{
 			{Kind: Inv, Op: OpWrite, Txn: id, Obj: "X", Arg: Value(k)},
@@ -285,11 +293,24 @@ func TestStreamManyTxnsDropsMasks(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if k == maxMaskTxns && !s.Live().Index().MasksValid {
-			t.Fatal("masks dropped too early")
+		ix := s.Live().Index()
+		if got := len(ix.RTPred); got != k {
+			t.Fatalf("k=%d: RTPred has %d rows", k, got)
 		}
-		if k == maxMaskTxns+1 && s.Live().Index().MasksValid {
-			t.Fatal("masks kept past the transaction limit")
+		if got := ix.TComplete.OnesCount(); got != k {
+			t.Fatalf("k=%d: TComplete has %d members", k, got)
+		}
+		switch k {
+		case 63, 64, 65, 127, 128, 129:
+			// The word boundaries: full parity with the batch builder.
+			if err := checkStreamAgainstBatch(s); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			// Transaction k-1 (dense index k-1) is real-time preceded by all
+			// k-1 earlier transactions.
+			if got := ix.RTPred[k-1].OnesCount(); got != k-1 {
+				t.Fatalf("k=%d: RTPred[%d] has %d members, want %d", k, k-1, got, k-1)
+			}
 		}
 	}
 	if err := checkStreamAgainstBatch(s); err != nil {

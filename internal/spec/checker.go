@@ -9,10 +9,6 @@ import (
 	"duopacity/internal/history"
 )
 
-// maxTxns bounds the exact checkers: placed-transaction sets are tracked as
-// 64-bit masks.
-const maxTxns = 64
-
 // txnRole describes how a transaction may end in a serialization.
 type txnRole uint8
 
@@ -71,18 +67,28 @@ type engine struct {
 	mode searchMode
 	opts options
 
-	n    int                   // participating transactions
-	gidx []int                 // engine index -> dense index in ix
-	txs  []*history.IndexedTxn // per engine txn, aliasing ix.Txns
-	role []txnRole
-	pred []uint64 // required predecessors per engine txn; may alias ix.RTPred
-	// predBuf is the engine-owned buffer behind pred whenever pred must
-	// differ from the shared real-time masks (extra edges, committedOnly
-	// compaction, no real-time order).
-	predBuf []uint64
+	n     int                   // participating transactions
+	words int                   // word count of the engine bitsets: bitsWords(n)
+	gidx  []int                 // engine index -> dense index in ix
+	txs   []*history.IndexedTxn // per engine txn, aliasing ix.Txns
+	role  []txnRole
+	// pred holds the required predecessors per engine txn. Rows may alias
+	// ix.RTPred (and then are ragged: row i spans bitsWords(i) words).
+	pred []history.Bits
+	// predBuf/predSlab are the engine-owned rows behind pred whenever it
+	// must differ from the shared real-time sets (extra edges,
+	// committedOnly compaction, no real-time order): n rows of `words`
+	// words carved out of one slab.
+	predBuf  []history.Bits
+	predSlab []uint64
 
-	all     uint64 // mask of all engine transactions
-	noWrite uint64 // engine transactions that install no writes
+	all     history.Bits // set of all engine transactions
+	noWrite history.Bits // engine transactions that install no writes
+	// dead is the greedy phase's scratch set of transactions whose reads
+	// failed against the phase's constant stacks. One buffer suffices:
+	// greedyPlace never recurses, so its lifetime ends before search
+	// descends.
+	dead history.Bits
 
 	// Per-object committed-writer stacks in one slab.
 	stackOff  []int32
@@ -90,12 +96,13 @@ type engine struct {
 	stackSlab []stackEntry
 
 	// Search state.
-	placed  uint64
-	fp      uint64 // incremental fingerprint of (placed, stacks)
-	order   []int32
-	commits []bool
-	memo    fpTable
-	nodes   int
+	placed      history.Bits
+	placedCount int
+	fp          uint64 // incremental fingerprint of (placed, stacks)
+	order       []int32
+	commits     []bool
+	memo        fpTable
+	nodes       int
 
 	// Portfolio state (nil when searching sequentially): a shared
 	// first-witness-wins cancellation flag and a shared node budget that
@@ -127,6 +134,19 @@ func grow[T any](s []T, n int) []T {
 	return make([]T, n)
 }
 
+// bitsWords returns the number of bitset words needed for n bits.
+func bitsWords(n int) int { return (n + 63) >> 6 }
+
+// growBits returns a zeroed bitset of the given word count, reusing b's
+// backing array when it is large enough.
+func growBits(b history.Bits, words int) history.Bits {
+	b = grow(b, words)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
 // release returns the engine's scratch to the pool, dropping references
 // into the checked history.
 func (e *engine) release() {
@@ -149,7 +169,7 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 	ix := h.Index()
 	e := enginePool.Get().(*engine)
 	e.h, e.ix, e.mode, e.opts = h, ix, mode, opts
-	e.placed, e.fp, e.nodes, e.chunk, e.chunkSize = 0, 0, 0, 0, 0
+	e.placedCount, e.fp, e.nodes, e.chunk, e.chunkSize = 0, 0, 0, 0, 0
 	e.order = grow(e.order, 0)
 	e.commits = grow(e.commits, 0)
 	e.witness, e.reason, e.bailed = nil, "", false
@@ -167,19 +187,20 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 	}
 	n := len(e.gidx)
 	e.n = n
-	if n > maxTxns {
-		e.release()
-		return nil, fmt.Sprintf("history has %d transactions; exact checking is limited to %d", n, maxTxns)
+	e.words = bitsWords(n)
+	e.all = growBits(e.all, e.words)
+	for w := range e.all {
+		e.all[w] = ^uint64(0)
 	}
-	if n == 64 {
-		e.all = ^uint64(0)
-	} else {
-		e.all = (uint64(1) << uint(n)) - 1
+	if r := uint(n & 63); r != 0 {
+		e.all[e.words-1] = (uint64(1) << r) - 1
 	}
+	e.placed = growBits(e.placed, e.words)
+	e.dead = growBits(e.dead, e.words)
 
 	e.txs = grow(e.txs, n)
 	e.role = grow(e.role, n)
-	e.noWrite = 0
+	e.noWrite = growBits(e.noWrite, e.words)
 	for i, gi := range e.gidx {
 		it := &ix.Txns[gi]
 		e.txs[i] = it
@@ -192,7 +213,7 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 			e.role[i] = roleMustAbort
 		}
 		if len(it.Writes) == 0 {
-			e.noWrite |= uint64(1) << uint(i)
+			e.noWrite.Set(i)
 		}
 	}
 	// A read that misses the transaction's own latest preceding write is
@@ -213,12 +234,16 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 	// participates, real-time order, no extra edges — aliases the index's
 	// precomputed masks; every other combination fills the engine's buffer.
 	identity := n == N
-	if mode.realTime && identity && len(mode.extraEdges) == 0 && ix.MasksValid {
+	if mode.realTime && identity && len(mode.extraEdges) == 0 {
 		e.pred = ix.RTPred
 	} else {
+		e.predSlab = grow(e.predSlab, n*e.words)
+		for i := range e.predSlab {
+			e.predSlab[i] = 0
+		}
 		e.predBuf = grow(e.predBuf, n)
-		for i := range e.predBuf {
-			e.predBuf[i] = 0
+		for i := 0; i < n; i++ {
+			e.predBuf[i] = history.Bits(e.predSlab[i*e.words : (i+1)*e.words])
 		}
 		if mode.realTime {
 			for bi, gb := range e.gidx {
@@ -229,7 +254,7 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 					}
 					ta := &ix.Txns[ga]
 					if ta.TComplete && ta.Last < first {
-						e.predBuf[bi] |= uint64(1) << uint(ai)
+						e.predBuf[bi].Set(ai)
 					}
 				}
 			}
@@ -238,7 +263,7 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 			ai := e.engineIndexOf(edge[0])
 			bi := e.engineIndexOf(edge[1])
 			if ai >= 0 && bi >= 0 {
-				e.predBuf[bi] |= uint64(1) << uint(ai)
+				e.predBuf[bi].Set(ai)
 			}
 		}
 		e.pred = e.predBuf
@@ -301,9 +326,9 @@ func (e *engine) engineIndexOf(k history.TxnID) int {
 // summaries instead of building a (object, value) -> writers map.
 func (e *engine) staticReject() string {
 	// When every transaction participates, the engine index space matches
-	// the index's, and the per-object writer masks narrow the candidate
+	// the index's, and the per-object writer sets narrow the candidate
 	// scan to the transactions that actually write the read's object.
-	useWriterMasks := e.n == e.ix.NumTxns() && e.ix.MasksValid
+	useWriterMasks := e.n == e.ix.NumTxns()
 	for i, it := range e.txs[:e.n] {
 		for _, r := range it.Reads {
 			if r.Val == history.InitValue {
@@ -312,21 +337,28 @@ func (e *engine) staticReject() string {
 			found := false
 			foundLocal := false
 			if useWriterMasks {
-				for m := e.ix.Writers[r.Obj] &^ (uint64(1) << uint(i)); m != 0 && !foundLocal; m &= m - 1 {
-					c := bits.TrailingZeros64(m)
-					if e.role[c] == roleMustAbort {
-						continue
+				row := e.ix.Writers[r.Obj]
+				for w := 0; w < len(row) && !foundLocal; w++ {
+					m := row[w]
+					if w == i>>6 {
+						m &^= uint64(1) << uint(i&63)
 					}
-					ct := e.txs[c]
-					for _, w := range ct.Writes {
-						if w.Obj != r.Obj || w.Val != r.Val {
+					for ; m != 0 && !foundLocal; m &= m - 1 {
+						c := w<<6 + bits.TrailingZeros64(m)
+						if e.role[c] == roleMustAbort {
 							continue
 						}
-						found = true
-						if ct.TryCInv >= 0 && ct.TryCInv < r.ResIdx {
-							foundLocal = true
+						ct := e.txs[c]
+						for _, wr := range ct.Writes {
+							if wr.Obj != r.Obj || wr.Val != r.Val {
+								continue
+							}
+							found = true
+							if ct.TryCInv >= 0 && ct.TryCInv < r.ResIdx {
+								foundLocal = true
+							}
+							break
 						}
-						break
 					}
 				}
 			} else {
@@ -442,7 +474,7 @@ func (e *engine) search() bool {
 		}
 	}()
 
-	if e.placed == e.all {
+	if e.placedCount == e.n {
 		return e.emit()
 	}
 	if e.collect == nil && e.memo.seen(e.fp) {
@@ -451,27 +483,29 @@ func (e *engine) search() bool {
 	// Try available transactions in first-event order (the analysis order),
 	// which finds witnesses quickly on realistic histories.
 	found := false
-	for m := e.all &^ e.placed; m != 0; m &= m - 1 {
-		i := bits.TrailingZeros64(m)
-		if e.pred[i]&^e.placed != 0 {
-			continue
-		}
-		switch e.role[i] {
-		case roleMustCommit:
-			found = e.place(i, true)
-		case roleMustAbort:
-			found = e.place(i, false)
-		case roleEither:
-			// Prefer committing: transactions whose values someone read
-			// must commit, and committing a pending tryC is never required
-			// to fail.
-			found = e.place(i, true) || e.place(i, false)
-		}
-		if found {
-			return true
-		}
-		if e.bailed {
-			return false
+	for w := 0; w < e.words; w++ {
+		for m := e.all[w] &^ e.placed[w]; m != 0; m &= m - 1 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			if !e.predOK(i) {
+				continue
+			}
+			switch e.role[i] {
+			case roleMustCommit:
+				found = e.place(i, true)
+			case roleMustAbort:
+				found = e.place(i, false)
+			case roleEither:
+				// Prefer committing: transactions whose values someone read
+				// must commit, and committing a pending tryC is never required
+				// to fail.
+				found = e.place(i, true) || e.place(i, false)
+			}
+			if found {
+				return true
+			}
+			if e.bailed {
+				return false
+			}
 		}
 	}
 	if e.collect == nil {
@@ -480,26 +514,42 @@ func (e *engine) search() bool {
 	return false
 }
 
+// predOK reports whether every required predecessor of engine transaction
+// i is already placed. pred rows may be ragged (aliasing the index's
+// real-time sets), never longer than the engine's word count.
+func (e *engine) predOK(i int) bool {
+	for w, rw := range e.pred[i] {
+		if rw&^e.placed[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // greedyPlace runs the greedy dominance phase and returns how many
 // transactions it placed (the caller pops them when unwinding).
 func (e *engine) greedyPlace() int {
 	greedy := 0
-	dead := uint64(0)
+	for w := range e.dead {
+		e.dead[w] = 0
+	}
 	for {
 		progress := false
-		for m := e.noWrite &^ e.placed &^ dead; m != 0; m &= m - 1 {
-			i := bits.TrailingZeros64(m)
-			if e.pred[i]&^e.placed != 0 {
-				continue
-			}
-			// Commit read-only t-committed transactions; abort the rest
-			// (for a no-write transaction the two are interchangeable
-			// except for equivalence to H).
-			if e.pushTxn(i, e.role[i] == roleMustCommit) {
-				greedy++
-				progress = true
-			} else {
-				dead |= uint64(1) << uint(i)
+		for w := 0; w < e.words; w++ {
+			for m := e.noWrite[w] &^ e.placed[w] &^ e.dead[w]; m != 0; m &= m - 1 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				if !e.predOK(i) {
+					continue
+				}
+				// Commit read-only t-committed transactions; abort the rest
+				// (for a no-write transaction the two are interchangeable
+				// except for equivalence to H).
+				if e.pushTxn(i, e.role[i] == roleMustCommit) {
+					greedy++
+					progress = true
+				} else {
+					e.dead.Set(i)
+				}
 			}
 		}
 		if !progress {
@@ -543,7 +593,8 @@ func (e *engine) pushTxn(i int, commit bool) bool {
 			}
 		}
 	}
-	e.placed |= uint64(1) << uint(i)
+	e.placed.Set(i)
+	e.placedCount++
 	e.fp ^= zPlaced(i)
 	e.order = append(e.order, int32(i))
 	e.commits = append(e.commits, commit)
@@ -573,7 +624,8 @@ func (e *engine) popTxn() {
 	}
 	e.order = e.order[:len(e.order)-1]
 	e.commits = e.commits[:len(e.commits)-1]
-	e.placed &^= uint64(1) << uint(i)
+	e.placed.Clear(i)
+	e.placedCount--
 	e.fp ^= zPlaced(i)
 }
 
@@ -634,9 +686,11 @@ func zPlaced(i int) uint64 {
 // zStack keys the presence of transaction txn at depth d of object o's
 // committed-writer stack, so the accumulated XOR identifies the full stack
 // contents in order — the exact state the reference engine's string key
-// rendered.
+// rendered. The packing keeps the inputs injective for up to 2²⁰
+// transactions and stack depths and 2²⁴ objects — far past anything the
+// multi-word engine meets (the pre-bitset packing overflowed at 256).
 func zStack(obj, depth, txn int) uint64 {
-	return mix64(uint64(obj)<<16 | uint64(depth)<<8 | uint64(txn))
+	return mix64(uint64(obj)<<40 | uint64(depth)<<20 | uint64(txn))
 }
 
 // fpTable is an open-addressing set of 64-bit fingerprints with epoch-based

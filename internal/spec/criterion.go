@@ -18,8 +18,11 @@
 // Deciding these criteria is NP-hard in general; the checkers perform an
 // exhaustive search over serialization orders and completion choices with
 // aggressive pruning and memoization, which is exact and fast for the small
-// histories produced by litmus tests and recorded engine episodes. Deciding
-// histories are limited to 64 transactions.
+// histories produced by litmus tests and recorded engine episodes. The
+// search state is held in multi-word bitsets, so there is no a-priori
+// bound on the number of transactions (the old 64-transaction mask
+// ceiling is gone); cost still grows with the number of *overlapping*
+// transactions, which the online monitor bounds via WithRetirement.
 package spec
 
 import (
@@ -120,6 +123,7 @@ type options struct {
 	nodeLimit            int
 	parallelism          int
 	tms2AbortedExemption bool
+	retireWindow         int
 }
 
 // WithNodeLimit bounds the number of search nodes explored before the
@@ -162,6 +166,21 @@ func WithParallelism(n int) Option {
 // other criteria ignore it.
 func WithTMS2AbortedReaderExemption() Option {
 	return func(o *options) { o.tms2AbortedExemption = true }
+}
+
+// WithRetirement enables windowed retirement in the Monitor: once the
+// monitored stream holds at least 2*window transactions, the monitor
+// looks for a settled prefix — t-complete transactions that real-time
+// precede everything still live, with a uniquely forced final committed
+// value per object — and replaces it with a checkpoint transaction
+// writing those values. Retirement is exact (see DESIGN.md): the verdict
+// stream is unchanged, but the monitor's memory and per-event cost stay
+// proportional to the live window instead of the whole history.
+//
+// The option only affects NewMonitor; batch checks ignore it. Values
+// <= 0 disable retirement (the default).
+func WithRetirement(window int) Option {
+	return func(o *options) { o.retireWindow = window }
 }
 
 func buildOptions(opts []Option) options {

@@ -16,10 +16,25 @@ import (
 // event is validated in O(1) amortized time and folded into the live
 // history and its incrementally maintained index — unlike the
 // pre-stream monitor, which re-ran history.FromEvents over the whole
-// event log at every append. The one per-response cost that still grows
-// with the history is materializing the witness Seq carried by the
-// returned Verdict (a slab copy of the observed operations); making that
-// lazy is the recorded follow-up in ROADMAP.md.
+// event log at every append. The witness Seq carried by the returned
+// Verdict is materialized copy-on-write into monitor-owned buffers:
+// t-complete transactions alias their (now immutable) observed
+// operations, and only live transactions are completed into reusable
+// scratch. A clean response on the fast path therefore allocates
+// nothing once the buffers are warm. The flip side is an ownership rule:
+// the Verdict's Serialization is valid only until the next Append;
+// callers that retain witnesses across events must copy them.
+//
+// With WithRetirement(window) the monitor also bounds its *memory*: once
+// the live history holds 2*window transactions it retires a settled
+// prefix — t-complete transactions that real-time precede everything
+// still running, whose final committed value per object is forced the
+// same way in every serialization — replacing it with a single committed
+// checkpoint transaction that writes those values. Prefix closure
+// (Corollary 2) makes the cut sound and the forced-state condition makes
+// it exact (see DESIGN.md): the verdict stream is identical to an
+// unretired monitor's, but state and per-event cost stay O(live window)
+// over arbitrarily long runs.
 //
 // Verdict work happens only at response events (appending an invocation
 // to an accepted history preserves acceptance: the new pending operation
@@ -81,7 +96,28 @@ type Monitor struct {
 	// it cannot justify. Unused for the other criteria, which are
 	// properties of the current history alone.
 	undecidedPrefix string
+
+	// seq and seqOps are the copy-on-write witness materialization owned
+	// by the monitor (see materialize): seq is the Seq handed out via
+	// Verdict.Serialization, seqOps the per-position completion scratch
+	// for transactions that are not yet t-complete.
+	seq    history.Seq
+	seqOps [][]history.Op
+
+	// totalEvents and retired count everything the monitor has observed,
+	// including what windowed retirement has discarded from the live
+	// stream.
+	totalEvents int
+	retired     int
 }
+
+// ckptTxn is the transaction identifier reserved for the retirement
+// checkpoint: the committed transaction that replaces a retired prefix,
+// writing the prefix's forced final committed values. At most one exists
+// at a time (a retirement always swallows the previous checkpoint, which
+// sits at dense index 0), so one reserved identifier suffices. A monitor
+// with retirement enabled rejects events carrying it.
+const ckptTxn history.TxnID = -1
 
 // NewMonitor returns a monitor for the given criterion. Supported
 // criteria are DUOpacity, FinalStateOpacity and Opacity (for which
@@ -103,22 +139,42 @@ func (m *Monitor) Stats() (searches, fastHits int) {
 	return m.searches, m.fastHits
 }
 
-// History returns a snapshot of the history observed so far.
+// History returns a snapshot of the live history: everything observed so
+// far, minus any prefix windowed retirement has replaced by its
+// checkpoint transaction (T_-1). Without WithRetirement it is the whole
+// observed history.
 func (m *Monitor) History() *history.History { return m.st.History() }
 
-// Len returns the number of events observed so far.
-func (m *Monitor) Len() int { return m.st.Len() }
+// Len returns the number of events observed so far, including events of
+// retired transactions no longer in the live history.
+func (m *Monitor) Len() int { return m.totalEvents }
+
+// Retired returns the number of observed transactions that windowed
+// retirement has replaced by a checkpoint. Zero without WithRetirement.
+func (m *Monitor) Retired() int { return m.retired }
+
+// LiveTxns returns the number of transactions in the live history
+// (including the retirement checkpoint, when one exists).
+func (m *Monitor) LiveTxns() int { return m.st.NumTxns() }
 
 // Verdict returns the verdict for the history observed so far.
 func (m *Monitor) Verdict() Verdict { return m.verdict }
 
 // Append observes one event and returns the updated verdict. It returns
 // an error (leaving the monitor unchanged) when the event would make the
-// history ill-formed.
+// history ill-formed, or when retirement is enabled and the event
+// carries the reserved checkpoint transaction identifier.
+//
+// The returned Verdict's Serialization is owned by the monitor and valid
+// only until the next Append; copy it to retain a witness across events.
 func (m *Monitor) Append(e history.Event) (Verdict, error) {
+	if m.opts.retireWindow > 0 && e.Txn == ckptTxn {
+		return m.verdict, fmt.Errorf("spec: transaction id %d is reserved for the monitor's retirement checkpoint", ckptTxn)
+	}
 	if err := m.st.Append(e); err != nil {
 		return m.verdict, err
 	}
+	m.totalEvents++
 	if m.latched {
 		// Prefix closure: the violation is permanent. Keep the original
 		// refutation.
@@ -132,6 +188,8 @@ func (m *Monitor) Append(e history.Event) (Verdict, error) {
 	m.verdict = m.recheck(e)
 	if !m.verdict.OK && !m.verdict.Undecided {
 		m.latched = true
+	} else if m.verdict.OK {
+		m.maybeRetire()
 	}
 	return m.verdict, nil
 }
@@ -144,16 +202,6 @@ func (m *Monitor) Append(e history.Event) (Verdict, error) {
 // exactly).
 func (m *Monitor) recheck(e history.Event) Verdict {
 	h := m.st.Live()
-	if h.NumTxns() > 64 {
-		// Out of the exact checkers' scope: undecided, not latched, so a
-		// long-running monitor degrades explicitly instead of latching a
-		// spurious violation.
-		return Verdict{
-			Criterion: m.crit,
-			Undecided: true,
-			Reason:    fmt.Sprintf("history has %d transactions; exact monitoring is limited to 64", h.NumTxns()),
-		}
-	}
 	if m.crit == Opacity && m.undecidedPrefix != "" {
 		// A skipped prefix can never be revisited; opacity of the stream
 		// stays undecidable (see undecidedPrefix).
@@ -349,8 +397,251 @@ func (m *Monitor) revalidate(ix *history.Indexed) bool {
 	return true
 }
 
-// materialize builds the Seq for the current witness order via the
-// index's slab builder.
+// materialize builds the Seq for the current witness order copy-on-write
+// into the monitor-owned buffers: a t-complete transaction's operations
+// are immutable from its last response on, so its SeqTxn aliases the
+// observed H|k directly; only transactions that still need a completion
+// (Definition 2) are copied into per-position scratch and completed
+// there. On the fast path of a clean response this allocates nothing
+// once the buffers have grown to the live-window size. The returned Seq
+// is valid until the next Append.
 func (m *Monitor) materialize(ix *history.Indexed) *history.Seq {
-	return ix.SeqForOrder(m.order, m.commit)
+	n := len(m.order)
+	if cap(m.seq.Txns) < n {
+		m.seq.Txns = make([]history.SeqTxn, n)
+	}
+	m.seq.Txns = m.seq.Txns[:n]
+	for len(m.seqOps) < n {
+		m.seqOps = append(m.seqOps, nil)
+	}
+	for pos, gi := range m.order {
+		it := &ix.Txns[gi]
+		t := it.Info
+		if it.TComplete {
+			m.seq.Txns[pos] = history.SeqTxn{ID: t.ID, Ops: t.Ops}
+			continue
+		}
+		buf := append(m.seqOps[pos][:0], t.Ops...)
+		switch {
+		case it.CommitPending:
+			last := &buf[len(buf)-1]
+			last.Pending = false
+			if m.commit[pos] {
+				last.Out = history.OutCommit
+			} else {
+				last.Out = history.OutAbort
+			}
+		case !it.Complete:
+			// Pending read, write or tryA: completed with A_k.
+			last := &buf[len(buf)-1]
+			last.Pending = false
+			last.Out = history.OutAbort
+		default:
+			// Complete but not t-complete: synthetic tryC·A_k.
+			buf = append(buf, history.Op{Kind: history.OpTryCommit, Out: history.OutAbort, InvIndex: -1, ResIndex: -1})
+		}
+		m.seqOps[pos] = buf
+		m.seq.Txns[pos] = history.SeqTxn{ID: t.ID, Ops: buf}
+	}
+	return &m.seq
+}
+
+// maybeRetire attempts a windowed retirement after an accepting response.
+// It looks for the largest settled prefix — contiguous t-complete
+// transactions behind a real-time barrier whose per-object final
+// committed state is forced — and retires it when it is worth a rebuild
+// (at least half a window). Soundness and exactness are argued in
+// DESIGN.md ("Windowed retirement").
+func (m *Monitor) maybeRetire() {
+	w := m.opts.retireWindow
+	if w <= 0 || !m.verdict.OK || m.latched {
+		return
+	}
+	ix := m.st.Live().Index()
+	n := ix.NumTxns()
+	if n < 2*w {
+		return
+	}
+	min := w / 2
+	if min < 1 {
+		min = 1
+	}
+	limit := n
+	for {
+		r := m.settledPrefix(ix, limit)
+		if r < min {
+			return
+		}
+		sigma, bound := m.forcedState(ix, r)
+		if bound < 0 {
+			m.retire(ix, r, sigma)
+			return
+		}
+		// The final committed value of some object is not forced with the
+		// transaction at index bound included; shrink the prefix past it
+		// and retry. The loop terminates: limit strictly decreases.
+		limit = bound
+	}
+}
+
+// settledPrefix returns the largest r <= limit such that transactions
+// [0,r) are all t-complete and sit behind a real-time barrier: every one
+// of them finished before the first event of transaction r (dense order
+// is first-appearance order, so transaction r's first event bounds every
+// live and future transaction's). Such a prefix real-time precedes
+// everything still running or yet to come, so any serialization of any
+// extension must place it first, as a block.
+func (m *Monitor) settledPrefix(ix *history.Indexed, limit int) int {
+	n := ix.NumTxns()
+	if limit > n {
+		limit = n
+	}
+	best := 0
+	maxLast := -1
+	for i := 0; i < limit; i++ {
+		it := &ix.Txns[i]
+		if maxLast < it.First {
+			best = i
+		}
+		if !it.TComplete {
+			return best
+		}
+		if it.Last > maxLast {
+			maxLast = it.Last
+		}
+	}
+	if limit == n {
+		// Every transaction is t-complete: the whole history is settled.
+		return n
+	}
+	if maxLast < ix.Txns[limit].First {
+		return limit
+	}
+	return best
+}
+
+// forcedState computes the retired prefix's final committed state. For
+// each object the candidate is its highest-indexed committed writer wl
+// below r; the state is forced when every other committed writer of the
+// object in the prefix real-time precedes wl, so every serialization
+// (all respect real-time order) installs wl's value last. When some
+// committed writer overlaps wl instead, the final value is ambiguous —
+// a future read could legally observe either order — and forcedState
+// returns that wl as the bound the prefix must shrink below (the
+// barrier recheck in settledPrefix then also excludes the overlapping
+// writer). InitValue writes are dropped from sigma: a checkpoint write
+// of the initial value is indistinguishable from T_0's.
+func (m *Monitor) forcedState(ix *history.Indexed, r int) (sigma []history.IndexedWrite, bound int) {
+	for oi := range ix.Writers {
+		wl := -1
+		ix.Writers[oi].Range(func(wr int) bool {
+			if wr >= r {
+				return false
+			}
+			if ix.Txns[wr].Committed {
+				wl = wr
+			}
+			return true
+		})
+		if wl < 0 {
+			continue
+		}
+		first := ix.Txns[wl].First
+		conflict := false
+		ix.Writers[oi].Range(func(wr int) bool {
+			if wr >= wl {
+				return false
+			}
+			if ix.Txns[wr].Committed && ix.Txns[wr].Last >= first {
+				conflict = true
+				return false
+			}
+			return true
+		})
+		if conflict {
+			return nil, wl
+		}
+		for _, wv := range ix.Txns[wl].Writes {
+			if wv.Obj == oi {
+				if wv.Val != history.InitValue {
+					sigma = append(sigma, history.IndexedWrite{Obj: oi, Val: wv.Val})
+				}
+				break
+			}
+		}
+	}
+	return sigma, -1
+}
+
+// retire replaces the settled prefix [0,r) by a checkpoint transaction
+// committing sigma, rebuilding the live stream from the checkpoint's
+// events followed by the live transactions' events (the real-time
+// barrier guarantees the prefix's events and the live events do not
+// interleave, so the suffix of the event log from transaction r's first
+// event is exactly the live transactions' history). The incremental
+// witness carries over by index shift — the barrier forces every
+// witness to place the retired prefix first, so its live tail plus the
+// checkpoint at position 0 is a witness for the rebuilt stream — and no
+// search is needed.
+func (m *Monitor) retire(ix *history.Indexed, r int, sigma []history.IndexedWrite) {
+	old := m.st.Live()
+	n := ix.NumTxns()
+	firstLive := old.Len()
+	if r < n {
+		firstLive = ix.Txns[r].First
+	}
+	ns := history.NewStream()
+	ok := func(err error) bool { return err == nil }
+	for _, wv := range sigma {
+		obj := ix.Objs[wv.Obj]
+		if !ok(ns.Append(history.Event{Kind: history.Inv, Op: history.OpWrite, Txn: ckptTxn, Obj: obj, Arg: wv.Val})) ||
+			!ok(ns.Append(history.Event{Kind: history.Res, Op: history.OpWrite, Txn: ckptTxn, Obj: obj, Arg: wv.Val, Out: history.OutOK})) {
+			return
+		}
+	}
+	if !ok(ns.Append(history.Event{Kind: history.Inv, Op: history.OpTryCommit, Txn: ckptTxn})) ||
+		!ok(ns.Append(history.Event{Kind: history.Res, Op: history.OpTryCommit, Txn: ckptTxn, Out: history.OutCommit})) {
+		return
+	}
+	for i := firstLive; i < old.Len(); i++ {
+		if !ok(ns.Append(old.At(i))) {
+			// Unreachable: the suffix was valid in the old stream and the
+			// checkpoint prefix cannot invalidate other transactions'
+			// events. Abandon the retirement; the old stream is untouched.
+			return
+		}
+	}
+	for i := 0; i < r; i++ {
+		if ix.TxnIDs[i] != ckptTxn {
+			m.retired++
+		}
+	}
+	m.st = ns
+	nix := ns.Live().Index()
+	if m.witnessOK && len(m.order) == n {
+		// Index shift: retired entries occupy the first r witness
+		// positions (the barrier forces them first); the tail maps to the
+		// rebuilt stream's dense indexes offset by the checkpoint.
+		order := make([]int, 0, n-r+1)
+		commit := make([]bool, 0, n-r+1)
+		order = append(order, 0)
+		commit = append(commit, true)
+		for p, gi := range m.order {
+			if gi >= r {
+				order = append(order, gi-r+1)
+				commit = append(commit, m.commit[p])
+			}
+		}
+		pos := make([]int, len(order))
+		for p, gi := range order {
+			pos[gi] = p
+		}
+		m.order, m.commit, m.pos = order, commit, pos
+		m.verdict.Serialization = m.materialize(nix)
+	} else {
+		// Defensive: without a full witness the incremental state cannot
+		// shift; drop it and let the next response search.
+		m.order, m.commit, m.pos = m.order[:0], m.commit[:0], m.pos[:0]
+		m.witnessOK = false
+	}
 }

@@ -38,19 +38,21 @@ type rootMove struct {
 func (e *engine) rootMoves() []rootMove {
 	greedy := e.greedyPlace()
 	var moves []rootMove
-	if e.placed != e.all {
-		for m := e.all &^ e.placed; m != 0; m &= m - 1 {
-			i := bits.TrailingZeros64(m)
-			if e.pred[i]&^e.placed != 0 {
-				continue
-			}
-			switch e.role[i] {
-			case roleMustCommit:
-				moves = append(moves, rootMove{i, true})
-			case roleMustAbort:
-				moves = append(moves, rootMove{i, false})
-			case roleEither:
-				moves = append(moves, rootMove{i, true}, rootMove{i, false})
+	if e.placedCount != e.n {
+		for w := 0; w < e.words; w++ {
+			for m := e.all[w] &^ e.placed[w]; m != 0; m &= m - 1 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				if !e.predOK(i) {
+					continue
+				}
+				switch e.role[i] {
+				case roleMustCommit:
+					moves = append(moves, rootMove{i, true})
+				case roleMustAbort:
+					moves = append(moves, rootMove{i, false})
+				case roleEither:
+					moves = append(moves, rootMove{i, true}, rootMove{i, false})
+				}
 			}
 		}
 	}
@@ -66,7 +68,7 @@ func (e *engine) rootMoves() []rootMove {
 func (e *engine) searchBranch(mv rootMove) bool {
 	greedy := e.greedyPlace()
 	var found bool
-	if e.placed == e.all {
+	if e.placedCount == e.n {
 		found = e.emit()
 	} else {
 		found = e.place(mv.i, mv.commit)

@@ -18,6 +18,12 @@ import (
 // verdict equality (OK / reason / undecided) between the two on every
 // criterion; keep this file semantically frozen.
 
+// refMaxTxns bounds the frozen reference engine: its placed sets and
+// predecessor rows are single uint64 masks. The optimized engine has no
+// such limit; differential comparisons against this engine must stay
+// within this bound.
+const refMaxTxns = 64
+
 // refReadReq is an external read of a transaction: a read that returned a
 // value and is not preceded by an own write to the same object, so its
 // legality depends on the serialization order.
@@ -89,8 +95,8 @@ func newRefEngine(h *history.History, mode searchMode, opts options) (*refEngine
 		e.txs = append(e.txs, t)
 	}
 	n := len(e.ids)
-	if n > maxTxns {
-		return nil, fmt.Sprintf("history has %d transactions; exact checking is limited to %d", n, maxTxns)
+	if n > refMaxTxns {
+		return nil, fmt.Sprintf("history has %d transactions; exact checking is limited to %d", n, refMaxTxns)
 	}
 
 	e.objIdx = make(map[history.Var]int)

@@ -30,30 +30,18 @@ func VerifySerialization(h *history.History, s *history.Seq) error {
 	}
 	ix := h.Index()
 	// Condition 2: real-time order. Walking s in order, every transaction's
-	// real-time predecessors must already have been placed.
-	if ix.MasksValid {
-		var placedMask uint64
-		for i := range s.Txns {
-			bi := ix.TxnIndexOf(s.Txns[i].ID)
-			if missing := ix.RTPred[bi] &^ placedMask; missing != 0 {
-				a := firstTxnInMask(ix, missing)
-				b := s.Txns[i].ID
-				return fmt.Errorf("spec: real-time violation: T%d ≺RT T%d but T%d <S T%d", a, b, b, a)
-			}
-			placedMask |= uint64(1) << uint(bi)
+	// real-time predecessors must already have been placed. The index's
+	// bitset rows cover histories of any size (the old 64-transaction mask
+	// fallback is gone).
+	placed := history.MakeBits(ix.NumTxns())
+	for i := range s.Txns {
+		bi := ix.TxnIndexOf(s.Txns[i].ID)
+		if missing := ix.RTPred[bi].FirstNotIn(placed); missing >= 0 {
+			a := ix.TxnIDs[missing]
+			b := s.Txns[i].ID
+			return fmt.Errorf("spec: real-time violation: T%d ≺RT T%d but T%d <S T%d", a, b, b, a)
 		}
-	} else {
-		pos := make(map[history.TxnID]int, len(s.Txns))
-		for i := range s.Txns {
-			pos[s.Txns[i].ID] = i
-		}
-		for _, a := range h.Txns() {
-			for _, b := range h.Txns() {
-				if h.RealTimePrecedes(a, b) && pos[a] > pos[b] {
-					return fmt.Errorf("spec: real-time violation: T%d ≺RT T%d but T%d <S T%d", a, b, b, a)
-				}
-			}
-		}
+		placed.Set(bi)
 	}
 	// Condition 3: local-serialization legality of every value-returning
 	// read. Walk s in order, maintaining per-object stacks of committed
@@ -118,15 +106,4 @@ func isExternalRead(it *history.IndexedTxn, opIdx int) bool {
 		}
 	}
 	return false
-}
-
-// firstTxnInMask returns the identifier of the lowest-indexed transaction
-// in the mask.
-func firstTxnInMask(ix *history.Indexed, m uint64) history.TxnID {
-	for i := range ix.TxnIDs {
-		if m&(uint64(1)<<uint(i)) != 0 {
-			return ix.TxnIDs[i]
-		}
-	}
-	return history.InitTxn
 }
