@@ -6,7 +6,7 @@
 //
 //	ducheck [-criteria du,opacity,...] [-witness] file...
 //	ducheck -parallel [-jobs N] [-portfolio N] file...
-//	ducheck -follow [-criteria du,opacity,finalstate] [-retire N] [-]
+//	ducheck -follow [-criteria du,opacity,finalstate] [-retire N] [-skip-bad|-strict] [-]
 //	ducheck -explore -engine tl2 [-criteria du,opacity] [-max-schedules N] plan...
 //
 // With several files (or -parallel), every file is checked against every
@@ -24,6 +24,11 @@
 // while the producer is still running. Only the monitorable criteria
 // (du, opacity, finalstate) are allowed with -follow. Malformed lines
 // are reported on stderr and skipped; the monitors are unaffected.
+// -skip-bad quarantines bad input instead: each offender is counted
+// (not noted line by line), a structured report lists the first ten on
+// stderr at the end, and the summary gains a "follow: events=N bad=M"
+// line. -strict is the opposite policy: the first bad line aborts the
+// follow with exit status 2.
 // -retire N bounds the monitors' memory on unbounded streams: settled
 // committed transactions are checkpointed and discarded once more than N
 // are live, without changing any verdict.
@@ -83,7 +88,13 @@ func main() {
 	os.Exit(code)
 }
 
+// run executes the CLI with diagnostics on os.Stderr; runWith is the
+// testable entry point with the diagnostic stream injected.
 func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	return runWith(args, stdin, stdout, os.Stderr)
+}
+
+func runWith(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("ducheck", flag.ContinueOnError)
 	criteriaFlag := fs.String("criteria", "du,opacity,finalstate,tms2,rco,strictser,ser",
 		"comma-separated criteria (du, opacity, finalstate, tms2, rco, strictser, ser)")
@@ -98,6 +109,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		"monitor events from stdin as they arrive (streaming ingestion; criteria limited to du, opacity, finalstate)")
 	retire := fs.Int("retire", 0,
 		"with -follow: retire settled committed transactions once this many are live, bounding monitor memory on long streams (0 = keep everything)")
+	skipBad := fs.Bool("skip-bad", false,
+		"with -follow: quarantine malformed or rejected input instead of noting each line — count it, report a structured summary on stderr at the end, and add bad=N to the summary line")
+	strict := fs.Bool("strict", false,
+		"with -follow: fail fast on the first malformed or rejected input line (exit 2)")
 	explore := fs.Bool("explore", false,
 		"arguments are plan files (internal/stm text format), not histories: enumerate every schedule of the deterministic stepper's space for each plan and prove or refute it (criteria limited to du, opacity)")
 	engine := fs.String("engine", "tl2", "engine to explore plans on (with -explore)")
@@ -119,6 +134,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		criteria = append(criteria, c)
 	}
 
+	if *skipBad && *strict {
+		return 2, fmt.Errorf("-skip-bad and -strict are mutually exclusive")
+	}
 	if *follow {
 		if fs.NArg() > 1 || (fs.NArg() == 1 && fs.Arg(0) != "-") {
 			return 2, fmt.Errorf("-follow reads events from stdin; no file arguments allowed")
@@ -128,10 +146,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		if !flagWasSet(fs, "criteria") {
 			criteria = []spec.Criterion{spec.DUOpacity, spec.Opacity, spec.FinalStateOpacity}
 		}
-		return runFollow(criteria, *nodeLimit, *retire, stdin, stdout)
+		return runFollow(criteria, *nodeLimit, *retire, *skipBad, *strict, stdin, stdout, stderr)
 	}
 	if flagWasSet(fs, "retire") {
 		return 2, fmt.Errorf("-retire only applies to -follow")
+	}
+	if *skipBad || *strict {
+		return 2, fmt.Errorf("-skip-bad and -strict only apply to -follow")
 	}
 
 	paths := fs.Args()
@@ -307,7 +328,14 @@ func runExplore(engine string, criteria []spec.Criterion, paths []string, stdinS
 // settled committed prefix and discards the retired transactions, so a
 // long-running producer is followed in memory proportional to the live
 // window rather than the whole stream.
-func runFollow(criteria []spec.Criterion, nodeLimit, retire int, stdin io.Reader, stdout io.Writer) (int, error) {
+//
+// Bad input — a line histio.ParseEvents cannot parse, or an event every
+// monitor would reject as ill-formed — follows one of three policies:
+// the default notes each occurrence on stderr and skips it (the monitors
+// are untouched either way); skipBad quarantines silently, counts, and
+// reports a structured summary on stderr at the end plus a bad=N column
+// on the summary line; strict fails fast with exit status 2.
+func runFollow(criteria []spec.Criterion, nodeLimit, retire int, skipBad, strict bool, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
 	monitors := make([]*spec.Monitor, len(criteria))
 	for i, c := range criteria {
 		opts := []spec.Option{spec.WithNodeLimit(nodeLimit)}
@@ -320,14 +348,44 @@ func runFollow(criteria []spec.Criterion, nodeLimit, retire int, stdin io.Reader
 		}
 		monitors[i] = m
 	}
+	// The quarantine ledger of -skip-bad: everything is counted, the first
+	// maxBadDetail offenders keep their line and reason for the report.
+	const maxBadDetail = 10
+	type badInput struct {
+		line int
+		text string
+		err  error
+	}
+	badCount := 0
+	var badDetail []badInput
+	var strictErr error
+	// noteBad applies the active policy; it reports whether to stop.
+	noteBad := func(lineNo int, text string, err error) bool {
+		switch {
+		case strict:
+			strictErr = fmt.Errorf("line %d: %w", lineNo, err)
+			return true
+		case skipBad:
+			badCount++
+			if len(badDetail) < maxBadDetail {
+				badDetail = append(badDetail, badInput{line: lineNo, text: text, err: err})
+			}
+		default:
+			fmt.Fprintf(stderr, "ducheck: line %d: %v (skipped)\n", lineNo, err)
+		}
+		return false
+	}
 	sc := bufio.NewScanner(stdin)
 	lineNo := 0
 	idx := 0
+scan:
 	for sc.Scan() {
 		lineNo++
 		evs, err := histio.ParseEvents(sc.Text())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ducheck: line %d: %v (skipped)\n", lineNo, err)
+			if noteBad(lineNo, sc.Text(), err) {
+				break
+			}
 			continue
 		}
 		for _, e := range evs {
@@ -340,7 +398,9 @@ func runFollow(criteria []spec.Criterion, nodeLimit, retire int, stdin io.Reader
 				v, err := m.Append(e)
 				if err != nil {
 					rejected = true
-					fmt.Fprintf(os.Stderr, "ducheck: line %d: %v (skipped)\n", lineNo, err)
+					if noteBad(lineNo, sc.Text(), err) {
+						break scan
+					}
 					break
 				}
 				verdicts = append(verdicts, v)
@@ -365,8 +425,25 @@ func runFollow(criteria []spec.Criterion, nodeLimit, retire int, stdin io.Reader
 			idx++
 		}
 	}
+	if strictErr != nil {
+		return 2, strictErr
+	}
 	if err := sc.Err(); err != nil {
 		return 2, err
+	}
+	if skipBad {
+		// The structured quarantine report: total plus the first offenders
+		// with their raw line and rejection reason.
+		if badCount > 0 {
+			fmt.Fprintf(stderr, "ducheck: quarantined %d bad input line(s):\n", badCount)
+			for _, b := range badDetail {
+				fmt.Fprintf(stderr, "  line %d: %v: %q\n", b.line, b.err, b.text)
+			}
+			if badCount > len(badDetail) {
+				fmt.Fprintf(stderr, "  ... and %d more\n", badCount-len(badDetail))
+			}
+		}
+		fmt.Fprintf(stdout, "follow: events=%d bad=%d\n", idx, badCount)
 	}
 	violations := 0
 	for i, m := range monitors {

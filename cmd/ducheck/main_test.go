@@ -326,3 +326,101 @@ func TestExploreBudgetExhaustedExit(t *testing.T) {
 		t.Errorf("budget-exhausted exploration exited %d, want 1", code)
 	}
 }
+
+func TestFollowSkipBadQuarantines(t *testing.T) {
+	// Two bad lines among good events: a parse failure and a monitor
+	// rejection (response without a matching invocation).
+	src := "write 1 X 1\nnot an event\ncommit 1\nres read 9 X 1\nread 2 X 1\ncommit 2\n"
+	var out, errOut strings.Builder
+	code, err := runWith([]string{"-follow", "-skip-bad", "-criteria", "du"}, strings.NewReader(src), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "follow: events=8 bad=2") {
+		t.Errorf("summary line missing bad accounting:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "du-opacity: OK") {
+		t.Errorf("good events were not certified:\n%s", out.String())
+	}
+	es := errOut.String()
+	if !strings.Contains(es, "quarantined 2 bad input line(s)") {
+		t.Errorf("structured report missing:\n%s", es)
+	}
+	for _, want := range []string{"line 2:", `"not an event"`, "line 4:", `"res read 9 X 1"`} {
+		if !strings.Contains(es, want) {
+			t.Errorf("structured report missing %q:\n%s", want, es)
+		}
+	}
+	// Quarantine is quiet per line: no "(skipped)" notes.
+	if strings.Contains(es, "(skipped)") {
+		t.Errorf("per-line skip notes printed under -skip-bad:\n%s", es)
+	}
+}
+
+func TestFollowSkipBadCleanStream(t *testing.T) {
+	src := "write 1 X 1\ncommit 1\n"
+	var out, errOut strings.Builder
+	code, err := runWith([]string{"-follow", "-skip-bad", "-criteria", "du"}, strings.NewReader(src), &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), "follow: events=4 bad=0") {
+		t.Errorf("summary line missing on clean stream:\n%s", out.String())
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("clean stream produced stderr output:\n%s", errOut.String())
+	}
+}
+
+func TestFollowStrictFailsFast(t *testing.T) {
+	src := "write 1 X 1\nnot an event\ncommit 1\n"
+	var out, errOut strings.Builder
+	code, err := runWith([]string{"-follow", "-strict", "-criteria", "du"}, strings.NewReader(src), &out, &errOut)
+	if err == nil {
+		t.Fatalf("strict mode did not fail on a bad line (code=%d)\n%s", code, out.String())
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name the offending line", err.Error())
+	}
+	// Fail-fast: the commit after the bad line was never processed.
+	if strings.Contains(out.String(), "tryc") {
+		t.Errorf("events after the bad line were processed:\n%s", out.String())
+	}
+}
+
+func TestFollowStrictAcceptsCleanStream(t *testing.T) {
+	src := "write 1 X 1\ncommit 1\nread 2 X 1\ncommit 2\n"
+	var out, errOut strings.Builder
+	code, err := runWith([]string{"-follow", "-strict", "-criteria", "du"}, strings.NewReader(src), &out, &errOut)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "du-opacity: OK") {
+		t.Errorf("clean stream not accepted:\n%s", out.String())
+	}
+	// The bad=N summary line belongs to -skip-bad only.
+	if strings.Contains(out.String(), "follow: events=") {
+		t.Errorf("strict mode printed the skip-bad summary:\n%s", out.String())
+	}
+}
+
+func TestSkipBadStrictFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-follow", "-skip-bad", "-strict"}, // mutually exclusive
+		{"-skip-bad", "somefile"},           // follow-only
+		{"-strict", "somefile"},             // follow-only
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		code, err := run(args, strings.NewReader(""), &out)
+		if err == nil || code != 2 {
+			t.Errorf("args %v: code=%d err=%v, want usage error", args, code, err)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	stmbench soak [-engines ...] [-rounds 6] [-seed 1] [-jobs N] [-portfolio N]
 //	stmbench explore [-engines ...] [-threads 2] [-txns 1] [-ops 2] [-plans 4]
 //	         [-seed 1] [-max-schedules N] [-jobs N] [-opacity]
+//	stmbench chaos [-engines tl2,norec,dstm] [-trials 50] [-seed 1]
+//	         [-node-limit N] [-abort-prob P] [-delay-prob P]
 //
 // The explore subcommand replaces sampling with proof: for each engine it
 // enumerates *every* schedule of the deterministic stepper's space for a
@@ -26,6 +28,15 @@
 // and once under the deterministic interleaved scheduler), reporting
 // criteria divergences with greedily shrunk minimal counterexamples.
 // -jobs shards episodes/cells across workers (0 = GOMAXPROCS).
+//
+// The chaos subcommand runs the fault-injection soak (harness.ChaosSoak
+// over internal/chaos): randomized engine, stream and farm fault
+// schedules through the whole pipeline, asserting that faults only ever
+// produce honest undecided verdicts or reported-and-rejected input —
+// never an OK↔violation flip against the fault-free differential. The
+// farm stage is wired through checkfarm.CheckBatch, so injected worker
+// panics exercise the farm's recovery and degradation for real. A
+// non-empty flip list makes the command fail.
 package main
 
 import (
@@ -36,8 +47,10 @@ import (
 	"os"
 	"strings"
 
+	"duopacity/internal/chaos"
 	"duopacity/internal/checkfarm"
 	"duopacity/internal/harness"
+	"duopacity/internal/history"
 	"duopacity/internal/spec"
 	"duopacity/internal/stm"
 	"duopacity/internal/stm/engines"
@@ -56,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "explore" {
 		return runExplore(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "chaos" {
+		return runChaos(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("stmbench", flag.ContinueOnError)
 	engineList := fs.String("engines", strings.Join(engines.Names(), ","), "comma-separated engines")
@@ -227,6 +243,63 @@ func runExplore(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, harness.FormatExploreTable(reports))
 	}
 	return nil
+}
+
+// runChaos is the fault-injection soak as a CLI surface: randomized
+// fault schedules through engine, stream and farm, with the farm stage
+// certifying each trial's history through checkfarm.CheckBatch under an
+// injected worker-fault schedule. Soundness flips fail the command.
+func runChaos(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stmbench chaos", flag.ContinueOnError)
+	engineList := fs.String("engines", "tl2,norec,dstm", "comma-separated engines (kill-safe set by default)")
+	trials := fs.Int("trials", 50, "fault schedules per engine")
+	seed := fs.Int64("seed", 1, "fault schedule grid seed")
+	nodeLimit := fs.Int("node-limit", 0, "bound each check and monitor search (0 = soak default)")
+	abortP := fs.Float64("abort-prob", 0, "per-operation spurious-abort probability (0 = soak default, negative = off)")
+	delayP := fs.Float64("delay-prob", 0, "per-commit delayed-commit probability (0 = soak default, negative = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*engineList, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	rep, err := harness.ChaosSoak(harness.ChaosConfig{
+		Engines:   names,
+		Trials:    *trials,
+		Seed:      *seed,
+		NodeLimit: *nodeLimit,
+		Profile:   chaos.Profile{SpuriousAbort: *abortP, CommitDelay: *delayP},
+		Farm:      farmViaCheckBatch,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, rep.String())
+	for _, f := range rep.Flips {
+		fmt.Fprintln(stdout, "FLIP:", f)
+	}
+	if len(rep.Flips) > 0 {
+		return fmt.Errorf("chaos soak found %d soundness flip(s)", len(rep.Flips))
+	}
+	return nil
+}
+
+// farmViaCheckBatch is the soak's farm stage: one history, one criterion,
+// certified through the farm's batch path so the fault schedule on ctx
+// strikes inside a real shard. A degraded shard surfaces through the
+// verdict's "degraded: " reason, which is split back out for the soak's
+// accounting.
+func farmViaCheckBatch(ctx context.Context, h *history.History, c spec.Criterion, nodeLimit int) (spec.Verdict, string, error) {
+	vs, err := checkfarm.CheckBatch(ctx, []*history.History{h}, []spec.Criterion{c}, 1, spec.WithNodeLimit(nodeLimit))
+	if err != nil {
+		return spec.Verdict{}, "", err
+	}
+	v := vs[0][0]
+	if reason, ok := strings.CutPrefix(v.Reason, "degraded: "); ok {
+		return v, reason, nil
+	}
+	return v, "", nil
 }
 
 func runSoak(args []string, stdout io.Writer) error {

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FarmFaults injects worker faults into internal/checkfarm's pool. It
+// travels through the context (WithFarmFaults), and the farm calls Strike
+// inside each shard's recovered region — so an injected panic exercises
+// exactly the recovery, bounded-retry and degradation machinery a real
+// worker panic would.
+//
+// The schedule is deterministic in (shard index, attempt): shard i is
+// struck iff i ≡ 0 (mod PanicEvery), and it panics on its first
+// PanicAttempts attempts. With PanicAttempts below the farm's retry
+// bound the shard recovers and the farm's result is unchanged; at or
+// above the bound the shard degrades — reported, never silent.
+type FarmFaults struct {
+	// PanicEvery selects the struck shards (every PanicEvery-th, starting
+	// at shard 0). Zero disables panics.
+	PanicEvery int
+	// PanicAttempts is how many consecutive attempts of a struck shard
+	// panic before it succeeds.
+	PanicAttempts int
+	// SlowEvery selects shards delayed by Delay on their first attempt
+	// (slow-shard faults). Zero disables.
+	SlowEvery int
+	// Delay is the slow-shard delay.
+	Delay time.Duration
+
+	panics atomic.Int64
+	slows  atomic.Int64
+}
+
+// Strike runs the fault schedule for one shard attempt: it may sleep
+// (slow shard) and may panic (worker panic). Safe on a nil receiver.
+func (f *FarmFaults) Strike(shard, attempt int) {
+	if f == nil {
+		return
+	}
+	if f.SlowEvery > 0 && f.Delay > 0 && attempt == 0 && shard%f.SlowEvery == 0 {
+		f.slows.Add(1)
+		time.Sleep(f.Delay)
+	}
+	if f.PanicEvery > 0 && shard%f.PanicEvery == 0 && attempt < f.PanicAttempts {
+		f.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected worker panic (shard %d, attempt %d)", shard, attempt))
+	}
+}
+
+// Panics returns how many panics Strike has injected.
+func (f *FarmFaults) Panics() int64 { return f.panics.Load() }
+
+// Slowed returns how many slow-shard delays Strike has injected.
+func (f *FarmFaults) Slowed() int64 { return f.slows.Load() }
+
+type farmFaultsKey struct{}
+
+// WithFarmFaults attaches f to the context for the certification farm to
+// pick up. Passing the returned context to any checkfarm entry point
+// injects the schedule into its worker pool.
+func WithFarmFaults(ctx context.Context, f *FarmFaults) context.Context {
+	return context.WithValue(ctx, farmFaultsKey{}, f)
+}
+
+// FarmFaultsFromContext returns the fault schedule attached by
+// WithFarmFaults, or nil.
+func FarmFaultsFromContext(ctx context.Context) *FarmFaults {
+	f, _ := ctx.Value(farmFaultsKey{}).(*FarmFaults)
+	return f
+}

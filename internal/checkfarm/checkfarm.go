@@ -112,11 +112,19 @@ func shard(ctx context.Context, n, jobs int, work func(i int) error) error {
 // emit is called from worker goroutines but never concurrently, and the
 // calls arrive in episode order 0, 1, 2, ...; an error from emit cancels
 // the remaining episodes and is returned. jobs <= 0 uses GOMAXPROCS.
+// A shard whose episode panics (a crashed worker, or an injected
+// chaos.FarmFaults strike) is retried with backoff and, past its retries,
+// degrades into harness.DegradedEpisode — an explicitly-undecided report
+// carrying the panic reason — instead of failing the run; ordinary errors
+// keep the historical first-error-cancels semantics. See protect.go.
 func CertifyStream(ctx context.Context, cfg harness.CertConfig, criteria []spec.Criterion, jobs int, emit func(ep int, r harness.EpisodeReport) error) error {
 	cfg = cfg.WithDefaults()
-	return streamOrdered(ctx, cfg.Episodes, jobs, func(ep int) (harness.EpisodeReport, error) {
-		return harness.CertifyEpisode(cfg, ep, criteria)
-	}, emit)
+	run := protect(ctx, func(ep int) (harness.EpisodeReport, error) {
+		return harness.CertifyEpisodeCtx(ctx, cfg, ep, criteria)
+	}, func(_ int, err *ShardPanicError) harness.EpisodeReport {
+		return harness.DegradedEpisode(criteria, err.Error())
+	})
+	return streamOrdered(ctx, cfg.Episodes, jobs, run, emit)
 }
 
 // streamOrdered fans run(0..n-1) across jobs workers and delivers the
@@ -231,9 +239,16 @@ func streamOrdered[T any](ctx context.Context, n, jobs int, run func(ep int) (T,
 func CertifyOnline(ctx context.Context, cfg harness.CertConfig, c spec.Criterion, jobs int) (harness.OnlineStats, error) {
 	cfg = cfg.WithDefaults()
 	stats := harness.OnlineStats{Engine: cfg.Workload.Engine, Criterion: c}
-	err := streamOrdered(ctx, cfg.Episodes, jobs, func(ep int) (harness.OnlineReport, error) {
-		return harness.CertifyEpisodeOnline(cfg, ep, c)
-	}, func(_ int, r harness.OnlineReport) error {
+	run := protect(ctx, func(ep int) (harness.OnlineReport, error) {
+		return harness.CertifyEpisodeOnlineCtx(ctx, cfg, ep, c)
+	}, func(_ int, err *ShardPanicError) harness.OnlineReport {
+		return harness.OnlineReport{
+			Verdict:        spec.Verdict{Criterion: c, Undecided: true, Reason: "degraded: " + err.Error()},
+			ViolationAt:    -1,
+			DegradedReason: err.Error(),
+		}
+	})
+	err := streamOrdered(ctx, cfg.Episodes, jobs, run, func(_ int, r harness.OnlineReport) error {
 		stats.AddEpisode(r)
 		return nil
 	})
@@ -318,15 +333,30 @@ func Sweep(ctx context.Context, cfg harness.SweepConfig, jobs int) ([]harness.Sw
 // is invoked concurrently from all workers and must be safe for
 // concurrent use (a plain map accumulator, fine under a single
 // ExplorePlan call, races here).
+// Cancellation propagates into every exploration's replay loop and
+// monitor checks (harness.ExplorePlanCtx), and a shard panicking past its
+// retries degrades into a BudgetExhausted report with DegradedReason set
+// instead of failing the batch.
 func ExplorePlans(ctx context.Context, engine string, plans []stm.Plan, cfg harness.ExploreConfig, jobs int) ([]harness.ExploreReport, error) {
+	crit := cfg.Criterion
+	if crit == 0 {
+		crit = spec.DUOpacity
+	}
 	results := make([]harness.ExploreReport, len(plans))
 	err := shard(ctx, len(plans), jobs, func(i int) error {
-		r, rerr := harness.ExplorePlan(engine, plans[i], cfg)
-		if rerr != nil {
-			return rerr
-		}
-		results[i] = r
-		return nil
+		return protectShard(ctx, i, func() error {
+			r, rerr := harness.ExplorePlanCtx(ctx, engine, plans[i], cfg)
+			if rerr != nil {
+				return rerr
+			}
+			results[i] = r
+			return nil
+		}, func(pe *ShardPanicError) {
+			results[i] = harness.ExploreReport{
+				Engine: engine, Criterion: crit, Plan: plans[i],
+				Outcome: harness.BudgetExhausted, DegradedReason: pe.Error(),
+			}
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -337,15 +367,32 @@ func ExplorePlans(ctx context.Context, engine string, plans []stm.Plan, cfg harn
 // CheckBatch checks every history against every criterion across the
 // pool and returns the verdicts with results[i][j] corresponding to
 // (hs[i], criteria[j]). It backs ducheck's -parallel batch mode.
+// Cancellation propagates into each check's search loop
+// (spec.WithContext), turning remaining checks into prompt undecided
+// verdicts; a shard panicking past its retries degrades its row into
+// explicit undecided verdicts carrying the panic reason.
 func CheckBatch(ctx context.Context, hs []*history.History, criteria []spec.Criterion, jobs int, opts ...spec.Option) ([][]spec.Verdict, error) {
+	if ctx != nil {
+		// Re-cap before appending: the variadic backing array may be shared
+		// with the caller.
+		opts = append(opts[:len(opts):len(opts)], spec.WithContext(ctx))
+	}
 	results := make([][]spec.Verdict, len(hs))
 	err := shard(ctx, len(hs), jobs, func(i int) error {
-		vs := make([]spec.Verdict, len(criteria))
-		for j, c := range criteria {
-			vs[j] = spec.Check(hs[i], c, opts...)
-		}
-		results[i] = vs
-		return nil
+		return protectShard(ctx, i, func() error {
+			vs := make([]spec.Verdict, len(criteria))
+			for j, c := range criteria {
+				vs[j] = spec.Check(hs[i], c, opts...)
+			}
+			results[i] = vs
+			return nil
+		}, func(pe *ShardPanicError) {
+			vs := make([]spec.Verdict, len(criteria))
+			for j, c := range criteria {
+				vs[j] = spec.Verdict{Criterion: c, Undecided: true, Reason: "degraded: " + pe.Error()}
+			}
+			results[i] = vs
+		})
 	})
 	if err != nil {
 		return nil, err

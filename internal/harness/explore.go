@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -211,6 +212,13 @@ type ExploreReport struct {
 	// Undecided counts completed schedules whose check hit the node
 	// limit.
 	Undecided int
+	// DegradedReason is set when the exploration did not run to its
+	// configured budget for an exceptional reason — the context was
+	// cancelled, a monitor rejected a recorded event, or (under
+	// checkfarm.ExplorePlans) the exploration shard panicked past its
+	// retries. The Outcome is BudgetExhausted in that case: degraded
+	// explorations are honest undecided results, never silent drops.
+	DegradedReason string
 }
 
 // ExplorePlan enumerates every schedule of the deterministic stepper's
@@ -222,6 +230,15 @@ type ExploreReport struct {
 // schedule, or BudgetExhausted with frontier statistics. See the file
 // comment for what the quantifier does and does not cover.
 func ExplorePlan(engine string, p stm.Plan, cfg ExploreConfig) (ExploreReport, error) {
+	return ExplorePlanCtx(context.Background(), engine, p, cfg)
+}
+
+// ExplorePlanCtx is ExplorePlan with cancellation: the context is checked
+// between replays and propagated into every monitor check
+// (spec.WithContext), so a farm deadline stops even a pathological
+// exploration promptly. Cancellation surfaces as Outcome BudgetExhausted
+// with DegradedReason set — an honest undecided result.
+func ExplorePlanCtx(ctx context.Context, engine string, p stm.Plan, cfg ExploreConfig) (ExploreReport, error) {
 	if err := p.Validate(); err != nil {
 		return ExploreReport{}, err
 	}
@@ -242,6 +259,7 @@ func ExplorePlan(engine string, p stm.Plan, cfg ExploreConfig) (ExploreReport, e
 		p:        p,
 		policy:   policyFor(engine),
 		cfg:      cfg,
+		ctx:      ctx,
 		symClass: symClasses(p.Threads),
 		rep:      ExploreReport{Engine: engine, Criterion: cfg.Criterion, Plan: p},
 	}
@@ -277,6 +295,7 @@ type explorer struct {
 	p        stm.Plan
 	policy   schedulePolicy
 	cfg      ExploreConfig
+	ctx      context.Context
 	symClass []int // per-thread program class, see symClasses
 	rep      ExploreReport
 
@@ -288,8 +307,22 @@ type explorer struct {
 	budget bool // a budget bound was hit (schedules or steps)
 }
 
+// noteDegraded records the first exceptional-degradation reason and marks
+// the exploration budget-bound, so the outcome honestly reports that the
+// space was not exhausted.
+func (e *explorer) noteDegraded(reason string) {
+	e.budget = true
+	if e.rep.DegradedReason == "" {
+		e.rep.DegradedReason = reason
+	}
+}
+
 func (e *explorer) run() {
 	for {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			e.noteDegraded("context cancelled: " + e.ctx.Err().Error())
+			break
+		}
 		end := e.replay()
 		e.rep.Replays++
 		if len(e.stack) > e.rep.MaxFrontier {
@@ -362,16 +395,27 @@ func (e *explorer) replay() pathEnd {
 		panic("harness: explore engine vanished: " + err.Error()) // validated by ExplorePlan
 	}
 	rec := recorder.New(eng)
-	m, err := spec.NewMonitor(e.cfg.Criterion, spec.WithNodeLimit(e.cfg.NodeLimit))
+	mopts := []spec.Option{spec.WithNodeLimit(e.cfg.NodeLimit)}
+	if e.ctx != nil {
+		mopts = append(mopts, spec.WithContext(e.ctx))
+	}
+	m, err := spec.NewMonitor(e.cfg.Criterion, mopts...)
 	if err != nil {
 		panic("harness: explore monitor: " + err.Error()) // criterion validated by ExplorePlan
 	}
 	latched, latchAt, events := false, -1, 0
+	tapFault := ""
 	rec.Tap(func(ev history.Event) {
+		if tapFault != "" {
+			return
+		}
 		v, aerr := m.Append(ev)
 		if aerr != nil {
-			// The recorder only emits matched, well-ordered events.
-			panic("harness: explored event rejected by the monitor: " + aerr.Error())
+			// The recorder only emits matched, well-ordered events, so a
+			// rejection means the monitor and recorder disagree — degrade
+			// this exploration honestly instead of crashing the farm.
+			tapFault = "monitor rejected recorded event: " + aerr.Error()
+			return
 		}
 		if !latched && !v.OK && !v.Undecided {
 			latched, latchAt = true, events
@@ -449,6 +493,17 @@ func (e *explorer) replay() pathEnd {
 		e.sched = append(e.sched, taken)
 		st.step(st.threads[taken])
 		e.rep.Steps++
+		if tapFault == "" {
+			if terr := rec.TapError(); terr != nil {
+				// The recorder recovered a panicking monitor; the capture is
+				// intact but unobserved from here on.
+				tapFault = terr.Error()
+			}
+		}
+		if tapFault != "" {
+			e.noteDegraded(tapFault)
+			return endSteps
+		}
 		if latched && !e.cfg.DisablePrefixCut {
 			// Corollary 2: the prefix is not du-opaque (resp. opaque), so
 			// no extension is — cut the whole subtree at the causing

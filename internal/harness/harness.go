@@ -31,6 +31,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -348,9 +349,13 @@ const episodeSeedStride = 104729
 
 // CertStats aggregates certification outcomes per criterion.
 type CertStats struct {
-	Engine    string
-	Episodes  int
-	Skipped   int
+	Engine   string
+	Episodes int
+	Skipped  int
+	// Degraded counts episodes that could not be certified for an
+	// exceptional reason (see EpisodeReport.Degraded); their verdicts are
+	// undecided, so they are also counted per criterion in Undecided.
+	Degraded  int
 	Accepted  map[spec.Criterion]int
 	Rejected  map[spec.Criterion]int
 	Undecided map[spec.Criterion]int
@@ -380,6 +385,24 @@ type EpisodeReport struct {
 	Verdicts map[spec.Criterion]spec.Verdict
 	// History is the recorded episode (also set when Skipped).
 	History *history.History
+	// Degraded is set when the episode could not be certified for an
+	// exceptional reason (under checkfarm.Certify: the episode's shard
+	// panicked past its retries); Verdicts then holds an undecided verdict
+	// per criterion carrying the same reason. Degradation is always
+	// reported, never a silent drop.
+	Degraded string
+}
+
+// DegradedEpisode builds the report for an episode that could not be
+// certified: every requested criterion gets an undecided verdict carrying
+// the reason, so aggregation (AddEpisode, the farm, the CLIs) treats the
+// episode as honestly undecided rather than dropping it.
+func DegradedEpisode(criteria []spec.Criterion, reason string) EpisodeReport {
+	r := EpisodeReport{Degraded: reason, Verdicts: make(map[spec.Criterion]spec.Verdict, len(criteria))}
+	for _, c := range criteria {
+		r.Verdicts[c] = spec.Verdict{Criterion: c, Undecided: true, Reason: "degraded: " + reason}
+	}
+	return r
 }
 
 // CertifyEpisode runs episode ep of the certification described by cfg and
@@ -388,10 +411,18 @@ type EpisodeReport struct {
 // be evaluated in any order (or concurrently) and folded with AddEpisode.
 // Call cfg.WithDefaults first when bypassing Certify.
 func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeReport, error) {
+	return CertifyEpisodeCtx(context.Background(), cfg, ep, criteria)
+}
+
+// CertifyEpisodeCtx is CertifyEpisode with cancellation threaded into the
+// exact checks (spec.WithContext) — and, with cfg.Explore, into the
+// exploration — so a farm deadline stops even a pathological search
+// promptly with an undecided verdict.
+func CertifyEpisodeCtx(ctx context.Context, cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeReport, error) {
 	w := cfg.Workload
 	w.Seed = cfg.Workload.Seed + int64(ep)*episodeSeedStride
 	if cfg.Explore {
-		return exploreEpisode(cfg, w, criteria)
+		return exploreEpisode(ctx, cfg, w, criteria)
 	}
 	var (
 		h   *history.History
@@ -413,6 +444,9 @@ func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeR
 	if cfg.Portfolio > 1 {
 		opts = append(opts, spec.WithParallelism(cfg.Portfolio))
 	}
+	if ctx != nil {
+		opts = append(opts, spec.WithContext(ctx))
+	}
 	for _, c := range criteria {
 		r.Verdicts[c] = spec.Check(h, c, opts...)
 	}
@@ -425,7 +459,7 @@ func CertifyEpisode(cfg CertConfig, ep int, criteria []spec.Criterion) (EpisodeR
 // budget-exhausted) are folded into the ordinary episode report so the
 // whole certification stack — AddEpisode, checkfarm.Certify, the CLIs —
 // aggregates proofs exactly as it aggregates samples.
-func exploreEpisode(cfg CertConfig, w Workload, criteria []spec.Criterion) (EpisodeReport, error) {
+func exploreEpisode(ctx context.Context, cfg CertConfig, w Workload, criteria []spec.Criterion) (EpisodeReport, error) {
 	// Capture MaxAttempts before the sampler defaulting: its 10,000-retry
 	// default is sized for wall-clock runs, not exploration, where retry
 	// chains multiply the schedule space — an unset value must fall
@@ -435,7 +469,7 @@ func exploreEpisode(cfg CertConfig, w Workload, criteria []spec.Criterion) (Epis
 	p := planFor(w)
 	r := EpisodeReport{Verdicts: make(map[spec.Criterion]spec.Verdict, len(criteria))}
 	for _, c := range criteria {
-		er, err := ExplorePlan(w.Engine, p, ExploreConfig{
+		er, err := ExplorePlanCtx(ctx, w.Engine, p, ExploreConfig{
 			Criterion:            c,
 			MaxAttempts:          maxAttempts,
 			MaxSchedules:         cfg.ExploreBudget,
@@ -480,6 +514,9 @@ func (s *CertStats) AddEpisode(criteria []spec.Criterion, r EpisodeReport) {
 		return
 	}
 	s.Episodes++
+	if r.Degraded != "" {
+		s.Degraded++
+	}
 	for _, c := range criteria {
 		v := r.Verdicts[c]
 		switch {

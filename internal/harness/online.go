@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -31,6 +32,13 @@ type OnlineReport struct {
 	Retired int
 	// Stats summarizes the underlying run.
 	Stats RunStats
+	// DegradedReason is set when online certification could not observe
+	// the whole run — the monitor rejected or panicked on a recorded
+	// event, or (under checkfarm.CertifyOnline) the episode shard panicked
+	// past its retries. The Verdict is then honest: a violation latched
+	// before the fault stands (prefix closure), but an OK is downgraded to
+	// undecided because the tail of the run went unmonitored.
+	DegradedReason string
 }
 
 // RunMonitored executes the workload with an online monitor certifying
@@ -58,11 +66,19 @@ func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool,
 	}
 	violationAt := -1
 	events := 0
+	degraded := ""
 	tap := func(e history.Event) {
+		if degraded != "" {
+			return
+		}
 		v, aerr := m.Append(e)
 		if aerr != nil {
-			// The recorder only emits matched, well-ordered events.
-			panic("harness: recorded event rejected by the monitor: " + aerr.Error())
+			// The recorder only emits matched, well-ordered events, so a
+			// rejection means monitor and recorder disagree. Stop
+			// monitoring and report the degradation instead of panicking
+			// inside the capture path; the recorded history is unharmed.
+			degraded = "monitor rejected recorded event: " + aerr.Error()
+			return
 		}
 		if violationAt < 0 && !v.OK && !v.Undecided {
 			violationAt = events
@@ -78,15 +94,23 @@ func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool,
 	if err != nil {
 		return OnlineReport{}, err
 	}
+	v := m.Verdict()
+	if degraded != "" && (v.OK || v.Undecided) {
+		// The tail of the run went unmonitored: an OK cannot be claimed.
+		// A latched violation stands — the violating prefix refutes the
+		// whole run by prefix closure.
+		v = spec.Verdict{Criterion: c, Undecided: true, Reason: "degraded: " + degraded}
+	}
 	searches, fastHits := m.Stats()
 	return OnlineReport{
-		Verdict:     m.Verdict(),
-		ViolationAt: violationAt,
-		Events:      events,
-		Searches:    searches,
-		FastHits:    fastHits,
-		Retired:     m.Retired(),
-		Stats:       stats,
+		Verdict:        v,
+		ViolationAt:    violationAt,
+		Events:         events,
+		Searches:       searches,
+		FastHits:       fastHits,
+		Retired:        m.Retired(),
+		Stats:          stats,
+		DegradedReason: degraded,
 	}, nil
 }
 
@@ -98,9 +122,21 @@ func RunMonitored(w Workload, c spec.Criterion, nodeLimit int, interleaved bool,
 // certification cover the same executions. Call cfg.WithDefaults first
 // when bypassing CertifyOnline aggregation.
 func CertifyEpisodeOnline(cfg CertConfig, ep int, c spec.Criterion) (OnlineReport, error) {
+	return CertifyEpisodeOnlineCtx(context.Background(), cfg, ep, c)
+}
+
+// CertifyEpisodeOnlineCtx is CertifyEpisodeOnline with cancellation
+// threaded into the monitor's checks (spec.WithContext): a farm deadline
+// turns the episode's remaining searches into prompt undecided verdicts
+// instead of running each to the node limit.
+func CertifyEpisodeOnlineCtx(ctx context.Context, cfg CertConfig, ep int, c spec.Criterion) (OnlineReport, error) {
 	w := cfg.Workload
 	w.Seed = cfg.Workload.Seed + int64(ep)*episodeSeedStride
-	return RunMonitored(w, c, cfg.NodeLimit, cfg.Interleaved)
+	var extra []spec.Option
+	if ctx != nil {
+		extra = append(extra, spec.WithContext(ctx))
+	}
+	return RunMonitored(w, c, cfg.NodeLimit, cfg.Interleaved, extra...)
 }
 
 // OnlineStats aggregates online certification outcomes.
@@ -111,6 +147,10 @@ type OnlineStats struct {
 	Accepted  int
 	Rejected  int
 	Undecided int
+	// Degraded counts episodes whose monitoring was cut short (see
+	// OnlineReport.DegradedReason); each is also counted in Undecided or
+	// Rejected, never in Accepted.
+	Degraded int
 	// FirstReason records the first rejection reason.
 	FirstReason string
 	// Events, Searches and FastHits accumulate the monitors' cost
@@ -122,6 +162,9 @@ type OnlineStats struct {
 // reports in episode order keeps FirstReason deterministic.
 func (s *OnlineStats) AddEpisode(r OnlineReport) {
 	s.Episodes++
+	if r.DegradedReason != "" {
+		s.Degraded++
+	}
 	v := r.Verdict
 	switch {
 	case v.Undecided:

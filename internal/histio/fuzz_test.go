@@ -47,3 +47,39 @@ func FuzzParseStability(f *testing.F) {
 		_, _ = ParseString(src) // must not panic
 	})
 }
+
+// FuzzParseEvents targets the line-level entry point used by streaming
+// consumers: it must never panic, must be deterministic, and a comment or
+// blank line must yield no events and no error.
+func FuzzParseEvents(f *testing.F) {
+	f.Add("write 1 X 1")
+	f.Add("read 2 X A")
+	f.Add("commit 1 A")
+	f.Add("abort 9")
+	f.Add("inv read 1 X")
+	f.Add("res write 1 X 1 ok")
+	f.Add("res tryc 1 C")
+	f.Add("# comment only")
+	f.Add("")
+	f.Add("write 1 X 1 # trailing")
+	f.Add("inv\ttryc\t1")
+	f.Add("read 1 X 9999999999999999999999")
+	f.Fuzz(func(t *testing.T, line string) {
+		evs, err := ParseEvents(line)
+		evs2, err2 := ParseEvents(line)
+		if (err == nil) != (err2 == nil) || len(evs) != len(evs2) {
+			t.Fatalf("ParseEvents not deterministic on %q: (%v,%v) vs (%v,%v)", line, evs, err, evs2, err2)
+		}
+		if err != nil {
+			if len(evs) != 0 {
+				t.Fatalf("error return carried events for %q: %v", line, evs)
+			}
+			return
+		}
+		for i, e := range evs {
+			if e != evs2[i] {
+				t.Fatalf("ParseEvents not deterministic on %q at event %d", line, i)
+			}
+		}
+	})
+}

@@ -172,3 +172,81 @@ res trya 2 A
 		t.Fatalf("Format output:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestParseEventsErrors exercises the line-level entry point directly:
+// streaming consumers (ducheck -follow) call ParseEvents per line and
+// depend on malformed input yielding an error, never a panic or a
+// half-parsed event slice.
+func TestParseEventsErrors(t *testing.T) {
+	cases := []struct {
+		name, line, want string
+	}{
+		{"unknown directive", "frobnicate 1 X 1", "unknown directive"},
+		{"unknown operation", "inv frob 1", "unknown operation"},
+		{"event too short", "res 1", "too short"},
+		{"bad txn id word", "commit one", "invalid transaction id"},
+		{"negative txn id", "read -1 X 1", "invalid transaction id"},
+		{"read arity", "read 1 X", "read wants 3 arguments"},
+		{"read extra", "read 1 X 1 2", "read wants 3 arguments"},
+		{"write arity", "write 1 X", "write wants 3 or 4 arguments"},
+		{"write bad value", "write 1 X lots", "invalid value"},
+		{"write bad outcome", "write 1 X 1 C", "write outcome must be A"},
+		{"commit arity", "commit", "commit wants 1 or 2 arguments"},
+		{"commit bad outcome", "commit 1 X", "commit outcome must be A"},
+		{"abort arity", "abort", "abort wants 1 argument"},
+		{"inv read arity", "inv read 1 X extra", "inv read wants 2 arguments"},
+		{"res read missing value", "res read 1 X", "res read wants 3 arguments"},
+		{"res write bad outcome", "res write 1 X 1 no", "must be ok or A"},
+		{"inv tryc arity", "inv tryc 1 X", "inv tryc wants 1 argument"},
+		{"res tryc bad outcome", "res tryc 1 Z", "tryc outcome must be C or A"},
+		{"res trya bad outcome", "res trya 1 C", "res trya wants outcome A"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs, err := ParseEvents(tc.line)
+			if err == nil {
+				t.Fatalf("no error for %q (got %v)", tc.line, evs)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			if len(evs) != 0 {
+				t.Fatalf("error case returned events: %v", evs)
+			}
+		})
+	}
+}
+
+// TestParseEventsCounts pins the expansion contract: shorthand lines
+// expand to the adjacent inv/res pair, event lines yield one event, and
+// comments or blank lines yield none without error.
+func TestParseEventsCounts(t *testing.T) {
+	cases := []struct {
+		line string
+		want int
+	}{
+		{"", 0},
+		{"   ", 0},
+		{"# comment", 0},
+		{"write 1 X 1 # trailing comment", 2},
+		{"read 2 X A", 2},
+		{"commit 1", 2},
+		{"commit 1 A", 2},
+		{"abort 3", 2},
+		{"inv read 1 X", 1},
+		{"res read 1 X 7", 1},
+		{"inv tryc 1", 1},
+		{"res tryc 1 C", 1},
+		{"res trya 2 A", 1},
+	}
+	for _, tc := range cases {
+		evs, err := ParseEvents(tc.line)
+		if err != nil {
+			t.Errorf("ParseEvents(%q) error: %v", tc.line, err)
+			continue
+		}
+		if len(evs) != tc.want {
+			t.Errorf("ParseEvents(%q) = %d events, want %d", tc.line, len(evs), tc.want)
+		}
+	}
+}

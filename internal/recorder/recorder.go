@@ -43,9 +43,10 @@ type Recorder struct {
 	eng    stm.Engine
 	nextID atomic.Int64
 
-	mu  sync.Mutex
-	evs []history.Event
-	tap func(history.Event)
+	mu     sync.Mutex
+	evs    []history.Event
+	tap    func(history.Event)
+	tapErr error
 }
 
 // New returns a Recorder around eng.
@@ -66,12 +67,14 @@ func (r *Recorder) Begin() *Txn {
 }
 
 // Reset discards the events recorded so far (the engine's state is left
-// untouched). It must not be called while transactions are in flight.
-// A registered tap is kept but is not informed of the discard.
+// untouched) and clears any recorded tap error. It must not be called
+// while transactions are in flight. A registered tap is kept but is not
+// informed of the discard.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.evs = nil
+	r.tapErr = nil
 }
 
 // Tap registers fn to observe every event at the moment it is recorded,
@@ -85,10 +88,27 @@ func (r *Recorder) Reset() {
 // every transaction's operation window. fn must not call back into the
 // Recorder (History, Reset, Tap, or any transaction operation) — it runs
 // while the capture mutex is held and would self-deadlock.
+//
+// A panic in fn does not corrupt the recorder: the capture mutex is
+// released, the event that triggered the panic stays recorded, the tap is
+// detached (no further calls), and the panic is surfaced through
+// TapError. Recording continues and the captured history stays
+// well-formed.
 func (r *Recorder) Tap(fn func(history.Event)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.tap = fn
+}
+
+// TapError returns the first panic recovered from a tap callback, or nil.
+// The panicking tap was detached at the point of failure; events recorded
+// after it are captured but unobserved, so consumers of a tap-driven
+// verdict (e.g. an online monitor) must treat a non-nil TapError as
+// degradation of that verdict, not of the recorded history.
+func (r *Recorder) TapError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tapErr
 }
 
 // History snapshots the recorded events as a history. Transactions still
@@ -107,11 +127,27 @@ func (r *Recorder) History() *history.History {
 
 func (r *Recorder) append(e history.Event) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.evs = append(r.evs, e)
 	if r.tap != nil {
-		r.tap(e)
+		r.callTap(e)
 	}
-	r.mu.Unlock()
+}
+
+// callTap invokes the tap under the capture mutex, recovering a panic so
+// a faulty observer cannot leave the mutex locked or the history torn:
+// the event stays recorded, the tap is detached, and the panic value is
+// kept for TapError.
+func (r *Recorder) callTap(e history.Event) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if r.tapErr == nil {
+				r.tapErr = fmt.Errorf("recorder: tap panicked on event %v: %v", e, rec)
+			}
+			r.tap = nil
+		}
+	}()
+	r.tap(e)
 }
 
 // Txn is a recorded transaction. It mirrors stm.Txn; each operation emits

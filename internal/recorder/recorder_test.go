@@ -2,6 +2,7 @@ package recorder
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -383,5 +384,68 @@ func TestAtomicallyRetriesAndPropagatesUserError(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("user error retried: %d calls", calls)
+	}
+}
+
+// TestTapPanicIsRecovered pins the tap's panic contract: a panicking
+// observer is detached without corrupting the capture mutex or the
+// history — the triggering event stays recorded, later operations record
+// normally, and the failure surfaces through TapError.
+func TestTapPanicIsRecovered(t *testing.T) {
+	r := New(tl2.New(2))
+	calls := 0
+	r.Tap(func(e history.Event) {
+		calls++
+		if calls == 3 {
+			panic("observer exploded")
+		}
+	})
+
+	tx := r.Begin()
+	if err := tx.Write(0, 1); err != nil { // events 1-2: inv + res
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(0); err != nil { // event 3 (inv) panics the tap
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil { // must not deadlock on the capture mutex
+		t.Fatal(err)
+	}
+
+	if calls != 3 {
+		t.Fatalf("tap called %d times after panicking on call 3; want detachment", calls)
+	}
+	err := r.TapError()
+	if err == nil {
+		t.Fatal("TapError() = nil after a tap panic")
+	}
+	if !strings.Contains(err.Error(), "observer exploded") {
+		t.Fatalf("TapError() = %v, want the panic value", err)
+	}
+
+	// The full transaction was captured despite the mid-flight panic: the
+	// history is well-formed (History re-validates) and complete.
+	h := r.History()
+	if h.Len() != 6 {
+		t.Fatalf("recorded %d events, want 6", h.Len())
+	}
+	if v := spec.Check(h, spec.DUOpacity); !v.OK {
+		t.Fatalf("recorded history not du-opaque after tap panic: %v", v)
+	}
+
+	// A second transaction records normally, and Reset clears the error.
+	tx2 := r.Begin()
+	if err := tx2.Write(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.History().Len() != 10 {
+		t.Fatalf("recording did not continue after tap panic: %d events", r.History().Len())
+	}
+	r.Reset()
+	if r.TapError() != nil {
+		t.Fatal("Reset did not clear the tap error")
 	}
 }

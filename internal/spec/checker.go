@@ -112,6 +112,11 @@ type engine struct {
 	chunk     int // nodes left in the locally claimed budget chunk
 	chunkSize int // claim granularity, sized by decideParallel to the budget
 
+	// Cancellation state (nil unless WithContext was given): the context's
+	// Done channel, polled every ctxPollMask+1 nodes in search().
+	ctxDone   <-chan struct{}
+	cancelled bool // bailed because the context was cancelled
+
 	// Enumeration state (nil unless enumerating).
 	collect func(*history.Seq) bool
 
@@ -154,6 +159,7 @@ func (e *engine) release() {
 	e.mode = searchMode{}
 	e.pred = nil // may alias ix.RTPred; predBuf stays pooled
 	e.stop, e.budget = nil, nil
+	e.ctxDone, e.cancelled = nil, false
 	e.collect = nil
 	e.witness = nil
 	for i := range e.txs {
@@ -174,6 +180,10 @@ func newEngine(h *history.History, mode searchMode, opts options) (*engine, stri
 	e.commits = grow(e.commits, 0)
 	e.witness, e.reason, e.bailed = nil, "", false
 	e.stop, e.budget, e.collect = nil, nil, nil
+	e.ctxDone, e.cancelled = nil, false
+	if opts.ctx != nil {
+		e.ctxDone = opts.ctx.Done()
+	}
 
 	// Participating transactions, in first-appearance order.
 	N := ix.NumTxns()
@@ -401,6 +411,9 @@ func (e *engine) run() (ok bool, witness *history.Seq, reason string, bailed boo
 		return true, e.witness, "", false, e.nodes
 	}
 	if e.bailed {
+		if e.cancelled {
+			return false, nil, "context cancelled", true, e.nodes
+		}
 		return false, nil, "node limit exceeded", true, e.nodes
 	}
 	if e.reason == "" {
@@ -408,6 +421,12 @@ func (e *engine) run() (ok bool, witness *history.Seq, reason string, bailed boo
 	}
 	return false, nil, e.reason, false, e.nodes
 }
+
+// ctxPollMask gates the cancellation poll in search(): the context's Done
+// channel is checked only when nodes&ctxPollMask == 0 (every 256 nodes,
+// plus the very first node so an already-cancelled context never starts
+// searching), keeping the per-node cost of WithContext to a nil check.
+const ctxPollMask = 255
 
 // claimNode draws one search node from the shared portfolio budget,
 // claiming it in chunks to keep the atomic traffic low. It reports false
@@ -442,6 +461,14 @@ func (e *engine) search() bool {
 	if e.stop != nil && e.stop.Load() {
 		// Another portfolio worker already found a witness.
 		return false
+	}
+	if e.ctxDone != nil && e.nodes&ctxPollMask == 0 {
+		select {
+		case <-e.ctxDone:
+			e.bailed, e.cancelled = true, true
+			return false
+		default:
+		}
 	}
 	if e.budget != nil {
 		if !e.claimNode() {

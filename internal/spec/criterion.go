@@ -26,6 +26,7 @@
 package spec
 
 import (
+	"context"
 	"fmt"
 
 	"duopacity/internal/history"
@@ -124,6 +125,7 @@ type options struct {
 	parallelism          int
 	tms2AbortedExemption bool
 	retireWindow         int
+	ctx                  context.Context
 }
 
 // WithNodeLimit bounds the number of search nodes explored before the
@@ -132,6 +134,17 @@ type options struct {
 // workers draw from.
 func WithNodeLimit(n int) Option {
 	return func(o *options) { o.nodeLimit = n }
+}
+
+// WithContext makes the search abandon work when ctx is cancelled (or its
+// deadline passes): the check returns an undecided verdict with reason
+// "context cancelled" instead of running to the node limit. The search
+// polls the context every few hundred nodes, so cancellation stops even a
+// pathological search promptly without slowing the per-node hot path.
+// Under WithParallelism every portfolio worker polls the same context.
+// A nil context (the default) disables polling entirely.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
 }
 
 // WithParallelism fans the top-level branches of the serialization search

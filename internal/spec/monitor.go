@@ -68,6 +68,11 @@ import (
 type Monitor struct {
 	crit Criterion
 	opts options
+	// recheckOpts is the resolved option set recheck hands to the batch
+	// decision procedure: the monitor's node limit and context only —
+	// never e.g. its retirement window — built once so the hot path
+	// allocates nothing for it.
+	recheckOpts options
 
 	st      *history.Stream
 	verdict Verdict
@@ -129,6 +134,10 @@ func NewMonitor(c Criterion, opts ...Option) (*Monitor, error) {
 		return nil, fmt.Errorf("spec: criterion %v not supported by the monitor", c)
 	}
 	m := &Monitor{crit: c, opts: buildOptions(opts), st: history.NewStream(), witnessOK: true}
+	// Deadline/cancellation propagation (spec.WithContext on the monitor):
+	// a cancelled context turns further rechecks into prompt undecided
+	// verdicts instead of full searches.
+	m.recheckOpts = options{nodeLimit: m.opts.nodeLimit, ctx: m.opts.ctx}
 	m.verdict = Verdict{Criterion: c, OK: true, Serialization: &history.Seq{}}
 	return m, nil
 }
@@ -216,16 +225,16 @@ func (m *Monitor) recheck(e history.Event) Verdict {
 	var v Verdict
 	switch m.crit {
 	case DUOpacity:
-		v = CheckDUOpacity(h, WithNodeLimit(m.opts.nodeLimit))
+		v = decide(h, DUOpacity, searchMode{local: true, realTime: true}, m.recheckOpts)
 	case FinalStateOpacity:
-		v = CheckFinalStateOpacity(h, WithNodeLimit(m.opts.nodeLimit))
+		v = decide(h, FinalStateOpacity, searchMode{realTime: true}, m.recheckOpts)
 	default:
 		// Opacity: every response prefix seen so far was accepted (or the
 		// monitor would have latched, or undecidedPrefix would be set),
 		// so final-state opacity of the current history decides opacity
 		// incrementally — the monitor never re-walks earlier prefixes the
 		// way batch CheckOpacity must.
-		v = CheckFinalStateOpacity(h, WithNodeLimit(m.opts.nodeLimit))
+		v = decide(h, FinalStateOpacity, searchMode{realTime: true}, m.recheckOpts)
 		v.Criterion = Opacity
 		if v.Undecided {
 			m.undecidedPrefix = fmt.Sprintf("prefix of length %d: %s", h.Len(), v.Reason)

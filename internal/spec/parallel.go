@@ -198,7 +198,11 @@ func decideParallel(h *history.History, c Criterion, mode searchMode, o options)
 	case witness != nil:
 		return Verdict{Criterion: c, OK: true, Serialization: witness, Nodes: nodes}
 	case bailed:
-		return Verdict{Criterion: c, Reason: "node limit exceeded", Undecided: true, Nodes: nodes}
+		reason := "node limit exceeded"
+		if o.ctx != nil && o.ctx.Err() != nil {
+			reason = "context cancelled"
+		}
+		return Verdict{Criterion: c, Reason: reason, Undecided: true, Nodes: nodes}
 	default:
 		return Verdict{Criterion: c, Reason: "no serialization satisfies the criterion", Nodes: nodes}
 	}
