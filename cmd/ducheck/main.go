@@ -6,7 +6,7 @@
 //
 //	ducheck [-criteria du,opacity,...] [-witness] file...
 //	ducheck -parallel [-jobs N] [-portfolio N] file...
-//	ducheck -follow [-criteria du,opacity,finalstate] [-retire N] [-skip-bad|-strict] [-]
+//	ducheck -follow [-criteria du,opacity,finalstate] [-retire N] [-skip-bad|-strict] [-connect host:port] [-]
 //	ducheck -explore -engine tl2 [-criteria du,opacity] [-max-schedules N] plan...
 //
 // With several files (or -parallel), every file is checked against every
@@ -32,6 +32,10 @@
 // -retire N bounds the monitors' memory on unbounded streams: settled
 // committed transactions are checkpointed and discarded once more than N
 // are live, without changing any verdict.
+// -connect host:port ships the stream to a certd server instead of
+// monitoring in-process: stdin lines are forwarded verbatim, the
+// server's per-event verdicts and final summary stream back, and the
+// criteria/retire/skip-bad/strict policies travel in the stream hello.
 //
 // -explore changes the input from histories to *plans* (one thread per
 // line, '|' between a thread's transactions, "r<obj>"/"w<obj>"
@@ -58,6 +62,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"os"
 	"strings"
 
@@ -68,16 +73,6 @@ import (
 	"duopacity/internal/spec"
 	"duopacity/internal/stm"
 )
-
-var criteriaByFlag = map[string]spec.Criterion{
-	"du":         spec.DUOpacity,
-	"opacity":    spec.Opacity,
-	"finalstate": spec.FinalStateOpacity,
-	"tms2":       spec.TMS2,
-	"rco":        spec.RCO,
-	"strictser":  spec.StrictSerializability,
-	"ser":        spec.Serializability,
-}
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
@@ -113,6 +108,8 @@ func runWith(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, err
 		"with -follow: quarantine malformed or rejected input instead of noting each line — count it, report a structured summary on stderr at the end, and add bad=N to the summary line")
 	strict := fs.Bool("strict", false,
 		"with -follow: fail fast on the first malformed or rejected input line (exit 2)")
+	connect := fs.String("connect", "",
+		"with -follow: ship events to a certd stream endpoint (host:port) instead of monitoring in-process; the server's per-event verdicts and final summary stream back")
 	explore := fs.Bool("explore", false,
 		"arguments are plan files (internal/stm text format), not histories: enumerate every schedule of the deterministic stepper's space for each plan and prove or refute it (criteria limited to du, opacity)")
 	engine := fs.String("engine", "tl2", "engine to explore plans on (with -explore)")
@@ -127,7 +124,7 @@ func runWith(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, err
 
 	var criteria []spec.Criterion
 	for _, name := range strings.Split(*criteriaFlag, ",") {
-		c, ok := criteriaByFlag[strings.TrimSpace(name)]
+		c, ok := spec.ParseCriterion(strings.TrimSpace(name))
 		if !ok {
 			return 2, fmt.Errorf("unknown criterion %q", name)
 		}
@@ -146,7 +143,13 @@ func runWith(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, err
 		if !flagWasSet(fs, "criteria") {
 			criteria = []spec.Criterion{spec.DUOpacity, spec.Opacity, spec.FinalStateOpacity}
 		}
+		if *connect != "" {
+			return runFollowConnect(*connect, criteria, *nodeLimit, *retire, *skipBad, *strict, stdin, stdout)
+		}
 		return runFollow(criteria, *nodeLimit, *retire, *skipBad, *strict, stdin, stdout, stderr)
+	}
+	if *connect != "" {
+		return 2, fmt.Errorf("-connect only applies to -follow")
 	}
 	if flagWasSet(fs, "retire") {
 		return 2, fmt.Errorf("-retire only applies to -follow")
@@ -461,6 +464,94 @@ scan:
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// runFollowConnect is -follow -connect: instead of monitoring in
+// process, raw stdin lines are forwarded to a certd stream endpoint and
+// the server's responses — per-event verdict lines, the final verdicts,
+// the DONE summary — are printed as they arrive. The server enforces the
+// same criteria/retire/skip-bad/strict policies runFollow enforces
+// locally (they travel in the STREAM hello), and the exit status maps
+// the same way: 1 when the final verdicts carry violations, 2 on
+// protocol or strict failures.
+func runFollowConnect(addr string, criteria []spec.Criterion, nodeLimit, retire int, skipBad, strict bool, stdin io.Reader, stdout io.Writer) (int, error) {
+	names := make([]string, len(criteria))
+	for i, c := range criteria {
+		name, ok := spec.CriterionAlias(c)
+		if !ok {
+			return 2, fmt.Errorf("-connect: criterion %v has no wire name", c)
+		}
+		names[i] = name
+	}
+	hello := "STREAM " + strings.Join(names, ",")
+	if retire > 0 {
+		hello += fmt.Sprintf(" retire=%d", retire)
+	}
+	if nodeLimit > 0 {
+		hello += fmt.Sprintf(" nodelimit=%d", nodeLimit)
+	}
+	if skipBad {
+		hello += " skipbad"
+	}
+	if strict {
+		hello += " strict"
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 2, fmt.Errorf("-connect: %w", err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	fmt.Fprintln(w, hello)
+	if err := w.Flush(); err != nil {
+		return 2, fmt.Errorf("-connect: %w", err)
+	}
+	r := bufio.NewScanner(conn)
+	if !r.Scan() {
+		return 2, fmt.Errorf("-connect: no hello response: %v", r.Err())
+	}
+	if resp := r.Text(); !strings.HasPrefix(resp, "OK ") {
+		return 2, fmt.Errorf("-connect: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+
+	// Forward stdin verbatim on its own goroutine (the server echoes
+	// while we send), then END + half-close so the server finalizes.
+	go func() {
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			fmt.Fprintln(w, sc.Text())
+		}
+		fmt.Fprintln(w, "END")
+		_ = w.Flush()
+		if hc, ok := conn.(interface{ CloseWrite() error }); ok {
+			_ = hc.CloseWrite()
+		}
+	}()
+
+	exit := 0
+	sawDone := false
+	for r.Scan() {
+		line := r.Text()
+		fmt.Fprintln(stdout, line)
+		switch {
+		case strings.HasPrefix(line, "DONE "):
+			sawDone = true
+			var ev, bad, dropped, viol int
+			if _, err := fmt.Sscanf(line, "DONE events=%d bad=%d dropped=%d violations=%d", &ev, &bad, &dropped, &viol); err == nil && viol > 0 {
+				exit = 1
+			}
+		case strings.HasPrefix(line, "ERR "):
+			return 2, fmt.Errorf("-connect: %s", strings.TrimPrefix(line, "ERR "))
+		}
+	}
+	if err := r.Err(); err != nil {
+		return 2, fmt.Errorf("-connect: %w", err)
+	}
+	if !sawDone {
+		return 2, fmt.Errorf("-connect: stream ended without DONE")
+	}
+	return exit, nil
 }
 
 // flagWasSet reports whether the named flag was given explicitly on the

@@ -1,0 +1,84 @@
+package certd
+
+import "sync/atomic"
+
+// Metrics holds the server's monotonic counters. Everything is atomic —
+// stream handlers and HTTP handlers bump them without taking the
+// coordinator lock — and /statsz serves a consistent-enough snapshot
+// (each counter is read atomically; cross-counter skew is fine for an
+// ops surface).
+type Metrics struct {
+	// Stream-side counters.
+	StreamsOpen     atomic.Int64 // currently connected
+	StreamsTotal    atomic.Int64 // accepted since start
+	StreamsRejected atomic.Int64 // refused at admission ("ERR busy")
+	StreamEvents    atomic.Int64 // events appended to monitors
+	StreamBad       atomic.Int64 // malformed or rejected input lines
+	StreamDropped   atomic.Int64 // events dropped by lossy streams
+	StreamStalls    atomic.Int64 // reads paused on a full queue (backpressure)
+	AppendNanos     atomic.Int64 // cumulative monitor-append latency
+
+	// Job-side counters.
+	JobsSubmitted  atomic.Int64
+	JobsDone       atomic.Int64
+	JobsFailed     atomic.Int64
+	LeasesGranted  atomic.Int64
+	LeasesExpired  atomic.Int64
+	ShardsDone     atomic.Int64
+	ShardsRequeued atomic.Int64
+	ShardsDegraded atomic.Int64
+}
+
+// StatsSnapshot is the /statsz payload: the counters plus the gauges
+// only the coordinator state knows (open jobs, outstanding leases).
+type StatsSnapshot struct {
+	Streams struct {
+		Open     int64 `json:"open"`
+		Total    int64 `json:"total"`
+		Rejected int64 `json:"rejected"`
+		Events   int64 `json:"events"`
+		Bad      int64 `json:"bad"`
+		Dropped  int64 `json:"dropped"`
+		Stalls   int64 `json:"stalls"`
+		// AvgAppendNanos is the mean monitor-append latency over the
+		// server's lifetime (0 before the first event).
+		AvgAppendNanos int64 `json:"avg_append_nanos"`
+	} `json:"streams"`
+	Jobs struct {
+		Submitted         int64 `json:"submitted"`
+		Open              int64 `json:"open"`
+		Done              int64 `json:"done"`
+		Failed            int64 `json:"failed"`
+		LeasesGranted     int64 `json:"leases_granted"`
+		LeasesOutstanding int64 `json:"leases_outstanding"`
+		LeasesExpired     int64 `json:"leases_expired"`
+		ShardsDone        int64 `json:"shards_done"`
+		ShardsRequeued    int64 `json:"shards_requeued"`
+		ShardsDegraded    int64 `json:"shards_degraded"`
+	} `json:"jobs"`
+	Draining bool `json:"draining"`
+}
+
+// snapshot fills the counter half; the server adds its gauges.
+func (m *Metrics) snapshot() StatsSnapshot {
+	var s StatsSnapshot
+	s.Streams.Open = m.StreamsOpen.Load()
+	s.Streams.Total = m.StreamsTotal.Load()
+	s.Streams.Rejected = m.StreamsRejected.Load()
+	s.Streams.Events = m.StreamEvents.Load()
+	s.Streams.Bad = m.StreamBad.Load()
+	s.Streams.Dropped = m.StreamDropped.Load()
+	s.Streams.Stalls = m.StreamStalls.Load()
+	if ev := s.Streams.Events; ev > 0 {
+		s.Streams.AvgAppendNanos = m.AppendNanos.Load() / ev
+	}
+	s.Jobs.Submitted = m.JobsSubmitted.Load()
+	s.Jobs.Done = m.JobsDone.Load()
+	s.Jobs.Failed = m.JobsFailed.Load()
+	s.Jobs.LeasesGranted = m.LeasesGranted.Load()
+	s.Jobs.LeasesExpired = m.LeasesExpired.Load()
+	s.Jobs.ShardsDone = m.ShardsDone.Load()
+	s.Jobs.ShardsRequeued = m.ShardsRequeued.Load()
+	s.Jobs.ShardsDegraded = m.ShardsDegraded.Load()
+	return s
+}

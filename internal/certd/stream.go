@@ -1,0 +1,333 @@
+package certd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"duopacity/internal/histio"
+	"duopacity/internal/history"
+	"duopacity/internal/spec"
+)
+
+// streamOpts is a parsed STREAM hello. Criteria names are ducheck's
+// -criteria flag names (spec.ParseCriterion aliases); NewMonitor rejects
+// the non-monitorable ones, so a STREAM hello asking for tms2 fails with
+// the monitor's own explanation.
+type streamOpts struct {
+	criteria  []spec.Criterion
+	retire    int
+	nodeLimit int
+	skipBad   bool
+	strict    bool
+	lossy     bool
+	quiet     bool
+}
+
+func parseHello(line string) (streamOpts, error) {
+	var o streamOpts
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "STREAM" {
+		return o, fmt.Errorf("want: STREAM <criteria> [retire=N] [nodelimit=N] [skipbad|strict] [lossy] [quiet]")
+	}
+	for _, name := range strings.Split(fields[1], ",") {
+		c, ok := spec.ParseCriterion(strings.TrimSpace(name))
+		if !ok {
+			return o, fmt.Errorf("unknown criterion %q", name)
+		}
+		o.criteria = append(o.criteria, c)
+	}
+	for _, f := range fields[2:] {
+		switch {
+		case f == "skipbad":
+			o.skipBad = true
+		case f == "strict":
+			o.strict = true
+		case f == "lossy":
+			o.lossy = true
+		case f == "quiet":
+			o.quiet = true
+		case strings.HasPrefix(f, "retire="):
+			n, err := strconv.Atoi(f[len("retire="):])
+			if err != nil || n < 0 {
+				return o, fmt.Errorf("bad retire value %q", f)
+			}
+			o.retire = n
+		case strings.HasPrefix(f, "nodelimit="):
+			n, err := strconv.Atoi(f[len("nodelimit="):])
+			if err != nil || n < 0 {
+				return o, fmt.Errorf("bad nodelimit value %q", f)
+			}
+			o.nodeLimit = n
+		default:
+			return o, fmt.Errorf("unknown option %q", f)
+		}
+	}
+	if o.skipBad && o.strict {
+		return o, fmt.Errorf("skipbad and strict are mutually exclusive")
+	}
+	return o, nil
+}
+
+// ServeStreams accepts monitor-stream connections on ln until the
+// listener closes (Drain closes it). Each connection is handled on its
+// own goroutine; Drain waits for them.
+func (s *Server) ServeStreams(ln net.Listener) error {
+	s.streamMu.Lock()
+	if s.draining {
+		s.streamMu.Unlock()
+		ln.Close()
+		return fmt.Errorf("certd: coordinator is draining")
+	}
+	s.streamLns = append(s.streamLns, ln)
+	s.streamMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil // listener closed (drain) — not an error
+		}
+		s.streams.Add(1)
+		go func() {
+			defer s.streams.Done()
+			s.handleStream(conn)
+		}()
+	}
+}
+
+func (s *Server) closeStreamListeners() {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	for _, ln := range s.streamLns {
+		_ = ln.Close()
+	}
+	s.streamLns = nil
+}
+
+func (s *Server) closeStreamConns() {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+}
+
+func (s *Server) trackConn(c net.Conn) func() {
+	s.streamMu.Lock()
+	s.conns[c] = struct{}{}
+	s.streamMu.Unlock()
+	return func() {
+		s.streamMu.Lock()
+		delete(s.conns, c)
+		s.streamMu.Unlock()
+	}
+}
+
+// handleStream runs one monitored stream: the network generalization of
+// ducheck's runFollow, with the same three bad-input policies and the
+// same per-event rendering, plus the queue/backpressure machinery a
+// network producer needs.
+func (s *Server) handleStream(conn net.Conn) {
+	defer conn.Close()
+	defer s.trackConn(conn)()
+	out := bufio.NewWriter(conn)
+	defer out.Flush()
+
+	// Admission control: past MaxStreams the hello is refused outright —
+	// the connection-level analog of HTTP 429. The producer sees an
+	// explicit ERR, never a silently-slow server.
+	if int(s.Metrics.StreamsOpen.Add(1)) > s.cfg.MaxStreams {
+		s.Metrics.StreamsOpen.Add(-1)
+		s.Metrics.StreamsRejected.Add(1)
+		fmt.Fprintln(out, "ERR busy")
+		return
+	}
+	defer s.Metrics.StreamsOpen.Add(-1)
+	s.Metrics.StreamsTotal.Add(1)
+
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !in.Scan() {
+		return
+	}
+	o, err := parseHello(in.Text())
+	if err != nil {
+		fmt.Fprintf(out, "ERR %v\n", err)
+		return
+	}
+	monitors := make([]*spec.Monitor, len(o.criteria))
+	for i, c := range o.criteria {
+		opts := []spec.Option{spec.WithNodeLimit(o.nodeLimit)}
+		if o.retire > 0 {
+			opts = append(opts, spec.WithRetirement(o.retire))
+		}
+		m, merr := spec.NewMonitor(c, opts...)
+		if merr != nil {
+			fmt.Fprintf(out, "ERR %v\n", merr)
+			return
+		}
+		monitors[i] = m
+	}
+	streamID := fmt.Sprintf("s%d", s.Metrics.StreamsTotal.Load())
+	fmt.Fprintf(out, "OK %s\n", streamID)
+	out.Flush()
+
+	// The bounded input queue: the reader goroutine feeds it, this
+	// goroutine drains it through the monitors. A full queue either
+	// pauses the reader — TCP flow control then pushes back on the
+	// producer, counted as a stall — or, on lossy streams, drops the
+	// line, counted and reported. Memory per stream is queue depth plus
+	// the monitors' retirement windows, independent of stream length.
+	type inLine struct {
+		no   int
+		text string
+	}
+	queue := make(chan inLine, s.cfg.StreamQueue)
+	var dropped int64
+	go func() {
+		defer close(queue)
+		lineNo := 0
+		for in.Scan() {
+			lineNo++
+			text := in.Text()
+			if text == "END" {
+				return
+			}
+			l := inLine{no: lineNo, text: text}
+			select {
+			case queue <- l:
+			default:
+				if o.lossy {
+					dropped++
+					s.Metrics.StreamDropped.Add(1)
+					continue
+				}
+				s.Metrics.StreamStalls.Add(1)
+				queue <- l
+			}
+		}
+	}()
+
+	const maxBadDetail = 10
+	type badInput struct {
+		no   int
+		text string
+		err  error
+	}
+	var (
+		badCount  int
+		badDetail []badInput
+		strictErr error
+		idx       int
+	)
+	noteBad := func(no int, text string, err error) bool {
+		s.Metrics.StreamBad.Add(1)
+		badCount++
+		switch {
+		case o.strict:
+			strictErr = fmt.Errorf("line %d: %w", no, err)
+			return true
+		case o.skipBad:
+			if len(badDetail) < maxBadDetail {
+				badDetail = append(badDetail, badInput{no: no, text: text, err: err})
+			}
+		default:
+			fmt.Fprintf(out, "BAD %d %v\n", no, err)
+		}
+		return false
+	}
+drain:
+	for l := range queue {
+		evs, perr := histio.ParseEvents(l.text)
+		if perr != nil {
+			if noteBad(l.no, l.text, perr) {
+				break
+			}
+			continue
+		}
+		for _, e := range evs {
+			if s.cfg.SlowAppend > 0 {
+				time.Sleep(s.cfg.SlowAppend)
+			}
+			var verdicts []spec.Verdict
+			rejected := false
+			start := time.Now()
+			for _, m := range monitors {
+				v, aerr := m.Append(e)
+				if aerr != nil {
+					rejected = true
+					if noteBad(l.no, l.text, aerr) {
+						break drain
+					}
+					break
+				}
+				verdicts = append(verdicts, v)
+			}
+			if rejected {
+				break
+			}
+			s.Metrics.AppendNanos.Add(time.Since(start).Nanoseconds())
+			s.Metrics.StreamEvents.Add(1)
+			if !o.quiet {
+				fmt.Fprintf(out, "%4d  %-28v", idx, e)
+				if e.Kind == history.Res {
+					for i, v := range verdicts {
+						status := "ok"
+						switch {
+						case v.Undecided:
+							status = "undecided"
+						case !v.OK:
+							status = "VIOLATED"
+						}
+						fmt.Fprintf(out, "  %s:%s", o.criteria[i], status)
+					}
+				}
+				fmt.Fprintln(out)
+			}
+			idx++
+		}
+		if out.Buffered() > 32*1024 {
+			if out.Flush() != nil {
+				return // client gone
+			}
+		}
+	}
+	if strictErr != nil {
+		// Drain whatever the reader already queued so it can exit, then
+		// fail the stream the way -strict fails the CLI: no final verdicts.
+		go func() {
+			for range queue {
+			}
+		}()
+		fmt.Fprintf(out, "ERR %v\n", strictErr)
+		return
+	}
+
+	if o.skipBad && badCount > 0 {
+		fmt.Fprintf(out, "QUARANTINED %d bad input line(s):\n", badCount)
+		for _, b := range badDetail {
+			fmt.Fprintf(out, "  line %d: %v: %q\n", b.no, b.err, b.text)
+		}
+		if badCount > len(badDetail) {
+			fmt.Fprintf(out, "  ... and %d more\n", badCount-len(badDetail))
+		}
+	}
+	if o.skipBad {
+		fmt.Fprintf(out, "follow: events=%d bad=%d\n", idx, badCount)
+	}
+	violations := 0
+	for i, m := range monitors {
+		v := m.Verdict()
+		fmt.Fprintln(out, v)
+		if o.retire > 0 {
+			fmt.Fprintf(out, "%v: %d events, %d transactions retired, %d live\n",
+				o.criteria[i], m.Len(), m.Retired(), m.LiveTxns())
+		}
+		if !v.OK && !v.Undecided {
+			violations++
+		}
+	}
+	fmt.Fprintf(out, "DONE events=%d bad=%d dropped=%d violations=%d\n", idx, badCount, dropped, violations)
+}

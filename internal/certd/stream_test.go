@@ -1,0 +1,305 @@
+package certd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startStreams spins a stream listener for s on a loopback port.
+func startStreams(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.ServeStreams(ln) }()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln.Addr().String()
+}
+
+type streamConn struct {
+	c net.Conn
+	w *bufio.Writer
+	r *bufio.Scanner
+}
+
+func dialStream(t *testing.T, addr, hello string) *streamConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	_ = c.SetDeadline(time.Now().Add(30 * time.Second))
+	sc := &streamConn{c: c, w: bufio.NewWriter(c), r: bufio.NewScanner(c)}
+	fmt.Fprintln(sc.w, hello)
+	if err := sc.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func (sc *streamConn) send(t *testing.T, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		fmt.Fprintln(sc.w, l)
+	}
+	if err := sc.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// collect reads every response line until the connection closes.
+func (sc *streamConn) collect(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for sc.r.Scan() {
+		out = append(out, sc.r.Text())
+	}
+	return out
+}
+
+func lastPrefixed(lines []string, prefix string) string {
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.HasPrefix(lines[i], prefix) {
+			return lines[i]
+		}
+	}
+	return ""
+}
+
+// TestStreamVerdicts drives a clean two-criterion stream end to end: OK
+// hello, per-event echoes with verdict columns, final verdicts, DONE.
+func TestStreamVerdicts(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+	sc := dialStream(t, addr, "STREAM du,opacity")
+	sc.send(t,
+		"write 1 X 1",
+		"commit 1",
+		"read 2 X 1",
+		"commit 2",
+		"END",
+	)
+	lines := sc.collect(t)
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "OK ") {
+		t.Fatalf("no OK hello: %q", lines)
+	}
+	done := lastPrefixed(lines, "DONE ")
+	if done != "DONE events=8 bad=0 dropped=0 violations=0" {
+		t.Fatalf("DONE line wrong: %q\nall: %q", done, lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "du-opacity: OK") || !strings.Contains(joined, "opacity: OK") {
+		t.Fatalf("final verdicts missing:\n%s", joined)
+	}
+	// Per-event echoes carry verdict columns on response events.
+	if !strings.Contains(joined, "du-opacity:ok") {
+		t.Fatalf("per-event verdict columns missing:\n%s", joined)
+	}
+	if got := s.Metrics.StreamEvents.Load(); got != 8 {
+		t.Fatalf("StreamEvents = %d, want 8", got)
+	}
+}
+
+// TestStreamViolation: an early read (deferred-update violation) latches
+// and shows up in the final verdict and the DONE counters.
+func TestStreamViolation(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+	sc := dialStream(t, addr, "STREAM du quiet")
+	sc.send(t,
+		"inv write 1 X 5",
+		"res write 1 X 5 ok",
+		"read 2 X 5", // reads uncommitted state: du-opacity violation
+		"commit 2",
+		"commit 1",
+		"END",
+	)
+	lines := sc.collect(t)
+	done := lastPrefixed(lines, "DONE ")
+	if !strings.Contains(done, "violations=1") {
+		t.Fatalf("violation not in DONE: %q\nall: %q", done, lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "du-opacity: violated") {
+		t.Fatalf("final verdict not violated:\n%s", joined)
+	}
+}
+
+// TestStreamBadInputPolicies pins the three bad-input policies of
+// ducheck -follow on the wire: default notes BAD lines, skipbad
+// quarantines with a ledger, strict kills the stream with ERR.
+func TestStreamBadInputPolicies(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+
+	t.Run("default", func(t *testing.T) {
+		sc := dialStream(t, addr, "STREAM du quiet")
+		sc.send(t, "write 1 X 1", "this is not an event", "commit 1", "END")
+		lines := sc.collect(t)
+		if bad := lastPrefixed(lines, "BAD "); !strings.HasPrefix(bad, "BAD 2 ") {
+			t.Fatalf("no BAD note for line 2: %q", lines)
+		}
+		if done := lastPrefixed(lines, "DONE "); !strings.Contains(done, "events=4 bad=1") {
+			t.Fatalf("DONE wrong: %q", lines)
+		}
+	})
+
+	t.Run("skipbad", func(t *testing.T) {
+		sc := dialStream(t, addr, "STREAM du quiet skipbad")
+		sc.send(t, "write 1 X 1", "garbage", "more garbage", "commit 1", "END")
+		lines := sc.collect(t)
+		joined := strings.Join(lines, "\n")
+		if strings.Contains(joined, "BAD ") {
+			t.Fatalf("skipbad noted lines: %q", lines)
+		}
+		if !strings.Contains(joined, "QUARANTINED 2 bad input line(s):") {
+			t.Fatalf("quarantine ledger missing:\n%s", joined)
+		}
+		if !strings.Contains(joined, "follow: events=4 bad=2") {
+			t.Fatalf("summary line missing:\n%s", joined)
+		}
+	})
+
+	t.Run("strict", func(t *testing.T) {
+		sc := dialStream(t, addr, "STREAM du quiet strict")
+		sc.send(t, "write 1 X 1", "garbage", "commit 1", "END")
+		lines := sc.collect(t)
+		errLine := lastPrefixed(lines, "ERR ")
+		if !strings.Contains(errLine, "line 2:") {
+			t.Fatalf("strict did not fail on line 2: %q", lines)
+		}
+		if lastPrefixed(lines, "DONE ") != "" {
+			t.Fatalf("strict stream still finished: %q", lines)
+		}
+	})
+}
+
+// TestStreamAdmissionControl: past MaxStreams the hello is refused with
+// an explicit ERR busy (the 429 analog), observable in the metrics.
+func TestStreamAdmissionControl(t *testing.T) {
+	s := NewServer(Config{MaxStreams: 1})
+	addr := startStreams(t, s)
+
+	first := dialStream(t, addr, "STREAM du quiet")
+	if !first.r.Scan() || !strings.HasPrefix(first.r.Text(), "OK ") {
+		t.Fatalf("first stream refused: %q", first.r.Text())
+	}
+	second := dialStream(t, addr, "STREAM du quiet")
+	if !second.r.Scan() || second.r.Text() != "ERR busy" {
+		t.Fatalf("second stream not refused: %q", second.r.Text())
+	}
+	if got := s.Metrics.StreamsRejected.Load(); got != 1 {
+		t.Fatalf("StreamsRejected = %d, want 1", got)
+	}
+	// Finishing the first stream frees the slot.
+	first.send(t, "END")
+	first.collect(t)
+	third := dialStream(t, addr, "STREAM du quiet")
+	if !third.r.Scan() || !strings.HasPrefix(third.r.Text(), "OK ") {
+		t.Fatalf("slot not freed after stream end: %q", third.r.Text())
+	}
+}
+
+// TestStreamLossyBackpressure: a slow consumer with a tiny queue and a
+// lossy stream drops overflow, counts it, and reports it — bounded
+// memory, no silent loss.
+func TestStreamLossyBackpressure(t *testing.T) {
+	s := NewServer(Config{StreamQueue: 2, SlowAppend: 2 * time.Millisecond})
+	addr := startStreams(t, s)
+	sc := dialStream(t, addr, "STREAM du quiet lossy")
+	lines := make([]string, 0, 401)
+	for i := 1; i <= 200; i++ {
+		lines = append(lines, fmt.Sprintf("write %d X %d", i, i), fmt.Sprintf("commit %d", i))
+	}
+	lines = append(lines, "END")
+	sc.send(t, lines...)
+	out := sc.collect(t)
+	done := lastPrefixed(out, "DONE ")
+	var events, bad, dropped, violations int64
+	if _, err := fmt.Sscanf(done, "DONE events=%d bad=%d dropped=%d violations=%d", &events, &bad, &dropped, &violations); err != nil {
+		t.Fatalf("unparsable DONE %q: %v", done, err)
+	}
+	if dropped == 0 {
+		t.Fatalf("lossy slow stream dropped nothing: %q", done)
+	}
+	if events+2*dropped != 800 {
+		// Each dropped line loses two events (shorthand inv+res).
+		t.Fatalf("events (%d) + 2*dropped (%d) != 800 sent", events, dropped)
+	}
+	if got := s.Metrics.StreamDropped.Load(); got != dropped {
+		t.Fatalf("statsz dropped %d != DONE dropped %d", got, dropped)
+	}
+}
+
+// TestStreamBlockingBackpressure: without lossy, a full queue pauses the
+// reader — counted as stalls — and every event is still monitored.
+func TestStreamBlockingBackpressure(t *testing.T) {
+	s := NewServer(Config{StreamQueue: 2, SlowAppend: time.Millisecond})
+	addr := startStreams(t, s)
+	sc := dialStream(t, addr, "STREAM du quiet")
+	lines := make([]string, 0, 101)
+	for i := 1; i <= 50; i++ {
+		lines = append(lines, fmt.Sprintf("write %d X %d", i, i), fmt.Sprintf("commit %d", i))
+	}
+	lines = append(lines, "END")
+	sc.send(t, lines...)
+	out := sc.collect(t)
+	done := lastPrefixed(out, "DONE ")
+	if !strings.Contains(done, "events=200 bad=0 dropped=0") {
+		t.Fatalf("blocking stream lost events: %q", done)
+	}
+	if s.Metrics.StreamStalls.Load() == 0 {
+		t.Fatalf("slow blocking stream recorded no stalls")
+	}
+}
+
+// TestStreamHelloErrors: malformed helloes and non-monitorable criteria
+// are refused with explicit ERR lines.
+func TestStreamHelloErrors(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+	for _, hello := range []string{
+		"NOT A HELLO",
+		"STREAM nope",
+		"STREAM tms2", // not monitorable
+		"STREAM du retire=x",
+		"STREAM du skipbad strict",
+	} {
+		sc := dialStream(t, addr, hello)
+		if !sc.r.Scan() || !strings.HasPrefix(sc.r.Text(), "ERR ") {
+			t.Errorf("hello %q not refused: %q", hello, sc.r.Text())
+		}
+	}
+}
+
+// TestStreamRetirement: the retirement window bounds monitor memory on a
+// long stream and the summary reports retired transactions, mirroring
+// ducheck -follow -retire.
+func TestStreamRetirement(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+	sc := dialStream(t, addr, "STREAM du retire=4 quiet")
+	lines := make([]string, 0, 81)
+	for i := 1; i <= 40; i++ {
+		lines = append(lines, fmt.Sprintf("write %d X %d", i, i), fmt.Sprintf("commit %d", i))
+	}
+	lines = append(lines, "END")
+	sc.send(t, lines...)
+	out := sc.collect(t)
+	joined := strings.Join(out, "\n")
+	if !strings.Contains(joined, "transactions retired") {
+		t.Fatalf("retirement summary missing:\n%s", joined)
+	}
+	var evs, retired, live int
+	if _, err := fmt.Sscanf(lastPrefixed(out, "du-opacity: "), "du-opacity: %d events, %d transactions retired, %d live", &evs, &retired, &live); err == nil {
+		if retired == 0 || live > 5 {
+			t.Fatalf("retirement not bounding the window: retired=%d live=%d", retired, live)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package certd
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"duopacity/internal/checkfarm"
+)
+
+// Worker is a pull-based shard computer: it polls the coordinator for
+// leases, heartbeats while computing, and posts results (or errors —
+// which the coordinator requeues). Workers hold no job state; killing
+// one mid-shard costs at most that shard's lease TTL.
+type Worker struct {
+	Client *Client
+	// Name identifies the worker in leases and degradation artifacts.
+	Name string
+	// Poll is the idle re-poll interval when the coordinator has no work
+	// (default 100ms).
+	Poll time.Duration
+}
+
+// Run pulls and computes shards until ctx ends or the coordinator
+// becomes unreachable twice in a row (a drained coordinator answers
+// polls with no work, which keeps the worker alive and idle).
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	consecutiveErrs := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		grant, ok, err := w.Client.Lease(ctx, w.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			consecutiveErrs++
+			if consecutiveErrs >= 2 {
+				return fmt.Errorf("certd worker %s: coordinator unreachable: %w", w.Name, err)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		consecutiveErrs = 0
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		w.runShard(ctx, grant)
+	}
+}
+
+// runShard computes one leased shard with heartbeats at TTL/3 and panic
+// recovery: a crashing shard reports an error result — the coordinator
+// requeues or degrades it — instead of killing the worker loop.
+func (w *Worker) runShard(ctx context.Context, g *LeaseGrant) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	ttl := time.Duration(g.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 3 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if alive, err := w.Client.Heartbeat(hbCtx, g.LeaseID); err == nil && !alive {
+					return // lease reclaimed; the result post will be a no-op or requeue
+				}
+			}
+		}
+	}()
+
+	res, rerr := w.computeShard(ctx, g)
+	stopHB()
+
+	req := ResultRequest{JobID: g.JobID, Shard: g.Shard, LeaseID: g.LeaseID, Worker: w.Name}
+	if rerr != nil {
+		req.Err = rerr.Error()
+	} else {
+		req.Result = &res
+	}
+	// Best-effort delivery with one retry; past that the lease expiry
+	// requeues the shard anyway.
+	rctx, cancel := context.WithTimeout(context.Background(), ttl)
+	defer cancel()
+	if err := w.Client.Result(rctx, req); err != nil {
+		_ = w.Client.Result(rctx, req)
+	}
+}
+
+func (w *Worker) computeShard(ctx context.Context, g *LeaseGrant) (res checkfarm.ShardResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return g.Spec.RunShard(ctx, g.Shard)
+}

@@ -103,6 +103,12 @@ type SoakCell struct {
 	Skipped  bool
 	Verdicts map[spec.Criterion]spec.Verdict
 	History  *history.History
+	// Degraded is set when the cell could not be observed at all — under
+	// distributed execution (internal/certd), a worker that died past its
+	// lease retries. A degraded cell is excluded from the per-criterion
+	// counts like a skipped one, but the degradation is always reported,
+	// never a silent drop (the PR 7 contract).
+	Degraded string
 }
 
 // Divergence records a history on which the criteria disagree — or, when
@@ -128,6 +134,9 @@ type SoakResult struct {
 	// Accepted/Rejected/Undecided count decided cells per engine and
 	// criterion (skipped cells excluded).
 	Accepted, Rejected, Undecided map[string]map[spec.Criterion]int
+	// Degraded counts cells lost to dead workers under distributed
+	// execution; always 0 for the in-process farm.
+	Degraded int
 }
 
 // MinimalCounterexample returns the smallest shrunk counterexample the
@@ -145,52 +154,75 @@ func (r *SoakResult) MinimalCounterexample(engine string, c spec.Criterion) *his
 	return best
 }
 
+// soakTask names one cell of the soak grid. The task order — rounds
+// outermost, engines inner, the concurrent cell before its interleaved
+// probe — is the soak's canonical shard order, shared by the in-process
+// farm and the distributed one (certd jobs index shards into this list).
+type soakTask struct {
+	engine string
+	round  int
+	probe  bool
+}
+
+// soakTasks expands the grid of a defaulted config into its canonical
+// task list.
+func soakTasks(cfg SoakConfig) []soakTask {
+	var tasks []soakTask
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, e := range cfg.Engines {
+			tasks = append(tasks, soakTask{engine: e, round: r, probe: false})
+			tasks = append(tasks, soakTask{engine: e, round: r, probe: true})
+		}
+	}
+	return tasks
+}
+
+// runSoakCell observes one cell: run the task's workload (recorded or
+// interleaved probe) and check the recorded history against every
+// criterion. It is the pure compute unit of the soak — a function of
+// (defaulted config, task) with no shared state — which is what lets a
+// certd worker run it on another machine.
+func runSoakCell(cfg SoakConfig, t soakTask) (SoakCell, error) {
+	w := cfg.roundWorkload(t.round)
+	w.Engine = t.engine
+	cell := SoakCell{Engine: t.engine, Round: t.round, Probe: t.probe, Workload: w}
+	var (
+		h    *history.History
+		rerr error
+	)
+	if t.probe {
+		h, _, rerr = harness.RunInterleaved(w)
+	} else {
+		h, _, rerr = harness.RunRecorded(w)
+	}
+	if rerr != nil {
+		return cell, fmt.Errorf("checkfarm: soak %s round %d: %w", t.engine, t.round, rerr)
+	}
+	cell.History = h
+	if h.NumTxns() > cfg.MaxTxns {
+		cell.Skipped = true
+		return cell, nil
+	}
+	checkOpts := cfg.checkOpts()
+	cell.Verdicts = make(map[spec.Criterion]spec.Verdict, len(cfg.Criteria))
+	for _, c := range cfg.Criteria {
+		cell.Verdicts[c] = spec.Check(h, c, checkOpts...)
+	}
+	return cell, nil
+}
+
 // Soak runs the differential soak: every engine under every criterion over
 // the randomized workload grid, cells sharded across jobs workers. Each
 // violating history is shrunk to a minimal counterexample before being
 // recorded as a divergence. jobs <= 0 uses GOMAXPROCS.
 func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 	cfg = cfg.withDefaults()
-	type task struct {
-		engine string
-		round  int
-		probe  bool
-	}
-	var tasks []task
-	for r := 0; r < cfg.Rounds; r++ {
-		for _, e := range cfg.Engines {
-			tasks = append(tasks, task{engine: e, round: r, probe: false})
-			tasks = append(tasks, task{engine: e, round: r, probe: true})
-		}
-	}
+	tasks := soakTasks(cfg)
 	cells := make([]SoakCell, len(tasks))
-	checkOpts := cfg.checkOpts()
 	err := shard(ctx, len(tasks), jobs, func(i int) error {
-		t := tasks[i]
-		w := cfg.roundWorkload(t.round)
-		w.Engine = t.engine
-		cell := SoakCell{Engine: t.engine, Round: t.round, Probe: t.probe, Workload: w}
-		var (
-			h    *history.History
-			rerr error
-		)
-		if t.probe {
-			h, _, rerr = harness.RunInterleaved(w)
-		} else {
-			h, _, rerr = harness.RunRecorded(w)
-		}
-		if rerr != nil {
-			return fmt.Errorf("checkfarm: soak %s round %d: %w", t.engine, t.round, rerr)
-		}
-		cell.History = h
-		if h.NumTxns() > cfg.MaxTxns {
-			cell.Skipped = true
-			cells[i] = cell
-			return nil
-		}
-		cell.Verdicts = make(map[spec.Criterion]spec.Verdict, len(cfg.Criteria))
-		for _, c := range cfg.Criteria {
-			cell.Verdicts[c] = spec.Check(h, c, checkOpts...)
+		cell, cerr := runSoakCell(cfg, tasks[i])
+		if cerr != nil {
+			return cerr
 		}
 		cells[i] = cell
 		return nil
@@ -198,7 +230,18 @@ func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return foldSoak(ctx, cfg, cells, jobs)
+}
 
+// foldSoak aggregates observed cells into the soak result: per-criterion
+// counts, divergence extraction, and greedy shrinking of each divergent
+// history. It is the fold entry point of the soak — given the cells in
+// canonical task order (however they were computed: the in-process shard
+// pool or certd workers), it reproduces Soak's aggregation byte for
+// byte. cfg must be the same (defaulted) config the cells were computed
+// under, since shrinking re-checks with the soak's node limit.
+func foldSoak(ctx context.Context, cfg SoakConfig, cells []SoakCell, jobs int) (*SoakResult, error) {
+	checkOpts := cfg.checkOpts()
 	res := &SoakResult{
 		Cells:     cells,
 		Accepted:  make(map[string]map[spec.Criterion]int),
@@ -214,6 +257,10 @@ func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 	// the checker O(events) times per counterexample.
 	divIdx := make([]int, 0, len(cells))
 	for i, cell := range cells {
+		if cell.Degraded != "" {
+			res.Degraded++
+			continue
+		}
 		if cell.Skipped {
 			continue
 		}
@@ -233,7 +280,7 @@ func Soak(ctx context.Context, cfg SoakConfig, jobs int) (*SoakResult, error) {
 		}
 	}
 	divs := make([]Divergence, len(divIdx))
-	err = shard(ctx, len(divIdx), jobs, func(j int) error {
+	err := shard(ctx, len(divIdx), jobs, func(j int) error {
 		cell := cells[divIdx[j]]
 		target := firstRejected(cfg.Criteria, cell.Verdicts)
 		d := Divergence{
@@ -302,6 +349,9 @@ func FormatSoakReport(cfg SoakConfig, res *SoakResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "differential soak: %d engines x %d criteria, %d cells (%d divergent)\n",
 		len(cfg.Engines), len(cfg.Criteria), len(res.Cells), len(res.Divergences))
+	if res.Degraded > 0 {
+		fmt.Fprintf(&b, "%d cell(s) degraded: lost to dead workers, excluded from the counts below\n", res.Degraded)
+	}
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "engine")
 	for _, c := range cfg.Criteria {

@@ -137,7 +137,9 @@ type ExploreConfig struct {
 	// shared across concurrent explorations (checkfarm.ExplorePlans with
 	// jobs > 1) invokes it from all workers — such a callback must be
 	// safe for concurrent use.
-	OnSchedule func(schedule []int, h *history.History, v spec.Verdict)
+	// The field is excluded from serialization (checkfarm.JobSpec ships
+	// ExploreConfig over the certd wire; a callback cannot travel).
+	OnSchedule func(schedule []int, h *history.History, v spec.Verdict) `json:"-"`
 }
 
 func (cfg ExploreConfig) withDefaults(p stm.Plan) ExploreConfig {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"duopacity/internal/history"
 	"duopacity/internal/litmus"
 )
 
@@ -79,6 +80,36 @@ func FuzzParseEvents(f *testing.F) {
 		for i, e := range evs {
 			if e != evs2[i] {
 				t.Fatalf("ParseEvents not deterministic on %q at event %d", line, i)
+			}
+		}
+	})
+}
+
+// FuzzEventRoundTrip drives the encoder with fuzz-chosen field values:
+// every canonical event shape over the sanitized inputs must survive
+// FormatEvent -> ParseEvents verbatim (the wire-protocol contract of
+// cmd/certd streams and ducheck -follow -connect).
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(uint16(1), "X", int64(0))
+	f.Add(uint16(7), "Y", int64(-9))
+	f.Add(uint16(130), "obj_1", int64(1<<40))
+	f.Fuzz(func(t *testing.T, txn uint16, obj string, val int64) {
+		if txn == 0 {
+			txn = 1
+		}
+		// Object names travel as whitespace-delimited tokens; '#' starts a
+		// comment. Anything else is legal on the wire.
+		if obj == "" || strings.ContainsAny(obj, " \t\n\r#") {
+			obj = "X"
+		}
+		for _, e := range eventShapes(history.TxnID(txn), history.Var(obj), history.Value(val)) {
+			line := FormatEvent(e)
+			back, err := ParseEvents(line)
+			if err != nil {
+				t.Fatalf("ParseEvents(%q): %v", line, err)
+			}
+			if len(back) != 1 || back[0] != e {
+				t.Fatalf("round trip changed event: %v -> %q -> %v", e, line, back)
 			}
 		}
 	})

@@ -48,13 +48,35 @@ import (
 
 // Format writes h to w, one event per line.
 func Format(w io.Writer, h *history.History) error {
+	return WriteEvents(w, h.Events())
+}
+
+// WriteEvents writes the events to w, one event line each — the encoder
+// dual of ParseEvents. It does not validate well-formedness (the events
+// need not form a history prefix), so it can serialize any event
+// sequence: a live stream being forwarded over the wire (cmd/certd's
+// stream protocol, ducheck -follow -connect), a synthetic load-test
+// feed, or a whole history via Format. Round-tripping through
+// ParseEvents yields the same events (pinned by TestEventRoundTrip and
+// FuzzEventRoundTrip).
+func WriteEvents(w io.Writer, evs []history.Event) error {
 	bw := bufio.NewWriter(w)
-	for _, e := range h.Events() {
+	for _, e := range evs {
 		if err := formatEvent(bw, e); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// FormatEvent renders one event as its event line, without the trailing
+// newline: the single-event form of WriteEvents, for consumers that
+// frame lines themselves (the certd stream client sends one event line
+// per network write).
+func FormatEvent(e history.Event) string {
+	var sb strings.Builder
+	_ = formatEvent(&sb, e) // strings.Builder never errors
+	return strings.TrimSuffix(sb.String(), "\n")
 }
 
 // FormatString renders h to a string.

@@ -250,3 +250,55 @@ func TestParseEventsCounts(t *testing.T) {
 		}
 	}
 }
+
+// eventShapes enumerates one canonical event per renderable shape of the
+// format: exactly the field combinations formatEvent distinguishes, with
+// unpreserved fields left zero so a round trip must reproduce the event
+// verbatim.
+func eventShapes(txn history.TxnID, obj history.Var, val history.Value) []history.Event {
+	return []history.Event{
+		{Kind: history.Inv, Op: history.OpRead, Txn: txn, Obj: obj},
+		{Kind: history.Inv, Op: history.OpWrite, Txn: txn, Obj: obj, Arg: val},
+		{Kind: history.Inv, Op: history.OpTryCommit, Txn: txn},
+		{Kind: history.Inv, Op: history.OpTryAbort, Txn: txn},
+		{Kind: history.Res, Op: history.OpRead, Txn: txn, Obj: obj, Val: val, Out: history.OutOK},
+		{Kind: history.Res, Op: history.OpRead, Txn: txn, Obj: obj, Out: history.OutAbort},
+		{Kind: history.Res, Op: history.OpWrite, Txn: txn, Obj: obj, Arg: val, Out: history.OutOK},
+		{Kind: history.Res, Op: history.OpWrite, Txn: txn, Obj: obj, Arg: val, Out: history.OutAbort},
+		{Kind: history.Res, Op: history.OpTryCommit, Txn: txn, Out: history.OutCommit},
+		{Kind: history.Res, Op: history.OpTryCommit, Txn: txn, Out: history.OutAbort},
+		{Kind: history.Res, Op: history.OpTryAbort, Txn: txn, Out: history.OutAbort},
+	}
+}
+
+// TestEventRoundTrip pins the encoder/decoder duality event by event:
+// every renderable event shape survives FormatEvent -> ParseEvents
+// unchanged, and WriteEvents agrees with the per-event form.
+func TestEventRoundTrip(t *testing.T) {
+	evs := eventShapes(7, "X", 42)
+	evs = append(evs, eventShapes(1, "obj-0", -3)...)
+	for _, e := range evs {
+		line := FormatEvent(e)
+		if strings.ContainsAny(line, "\n") {
+			t.Fatalf("FormatEvent(%v) contains a newline: %q", e, line)
+		}
+		back, err := ParseEvents(line)
+		if err != nil {
+			t.Fatalf("ParseEvents(FormatEvent(%v)) = %q: %v", e, line, err)
+		}
+		if len(back) != 1 || back[0] != e {
+			t.Fatalf("round trip changed event: %v -> %q -> %v", e, line, back)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteEvents(&sb, evs); err != nil {
+		t.Fatal(err)
+	}
+	want := ""
+	for _, e := range evs {
+		want += FormatEvent(e) + "\n"
+	}
+	if sb.String() != want {
+		t.Fatalf("WriteEvents disagrees with FormatEvent lines:\n%q\nvs\n%q", sb.String(), want)
+	}
+}

@@ -75,6 +75,74 @@ func (c Criterion) String() string {
 	return fmt.Sprintf("Criterion(%d)", uint8(c))
 }
 
+// criterionAliases are the short flag names the CLIs use (ducheck
+// -criteria, the certd stream hello), accepted anywhere a criterion
+// parses from text.
+var criterionAliases = map[string]Criterion{
+	"du":         DUOpacity,
+	"opacity":    Opacity,
+	"finalstate": FinalStateOpacity,
+	"tms2":       TMS2,
+	"rco":        RCO,
+	"strictser":  StrictSerializability,
+	"ser":        Serializability,
+}
+
+// ParseCriterion resolves a criterion from its conventional name
+// (String's output, e.g. "du-opacity") or its short CLI alias (du,
+// opacity, finalstate, tms2, rco, strictser, ser).
+func ParseCriterion(name string) (Criterion, bool) {
+	for c, s := range criterionNames {
+		if s == name {
+			return c, true
+		}
+	}
+	c, ok := criterionAliases[name]
+	return c, ok
+}
+
+// CriterionAlias returns the short CLI alias for c — the name wire
+// protocols use where conventional names cannot appear (they contain
+// spaces).
+func CriterionAlias(c Criterion) (string, bool) {
+	for alias, got := range criterionAliases {
+		if got == c {
+			return alias, true
+		}
+	}
+	return "", false
+}
+
+// MarshalText encodes the criterion as its conventional name, so JSON
+// job specs (checkfarm.JobSpec, the certd wire protocol) read
+// "du-opacity" rather than a bare enum number. The zero value (no
+// criterion chosen yet — configs leave it unset to mean "default")
+// round-trips as the empty string.
+func (c Criterion) MarshalText() ([]byte, error) {
+	if c == 0 {
+		return nil, nil
+	}
+	if _, ok := criterionNames[c]; !ok {
+		return nil, fmt.Errorf("unknown criterion %d", uint8(c))
+	}
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText is the inverse of MarshalText; it also accepts the
+// short CLI aliases.
+func (c *Criterion) UnmarshalText(text []byte) error {
+	if len(text) == 0 {
+		*c = 0
+		return nil
+	}
+	got, ok := ParseCriterion(string(text))
+	if !ok {
+		return fmt.Errorf("unknown criterion %q", text)
+	}
+	*c = got
+	return nil
+}
+
 // AllCriteria lists every implemented criterion in decreasing strength
 // (roughly: du-opacity refines opacity refines final-state opacity; TMS2
 // and RCO are incomparable restrictions; serializability is weakest).
