@@ -210,6 +210,107 @@ func TestStaleResultAfterRequeue(t *testing.T) {
 	}
 }
 
+// TestStaleResultWhileRequeued: the slow worker's result arrives while
+// its expired shard is still sitting in the pending queue (not yet
+// re-leased). The result resolves the shard AND removes it from the
+// queue — a later Lease must never grant an already-done shard (which
+// would double-resolve it and fail the fold on a multi-shard job).
+func TestStaleResultWhileRequeued(t *testing.T) {
+	clk := newFakeClock()
+	s := NewServer(Config{LeaseTTL: time.Second, Clock: clk.Now})
+	id, n, err := s.Submit(checkJobSpec(
+		"write 1 X 1\ncommit 1\n",
+		"write 1 Y 2\ncommit 1\n",
+	))
+	if err != nil || n != 2 {
+		t.Fatalf("Submit: %v (n=%d)", err, n)
+	}
+	g1 := s.Lease("slow")
+	if g1 == nil || g1.Shard != 0 {
+		t.Fatalf("first lease: %+v", g1)
+	}
+	clk.Advance(2 * time.Second)
+	s.Expire() // shard 0 back in the queue behind shard 1; nobody re-leases it
+	res, err := g1.Spec.RunShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Result(ResultRequest{JobID: id, Shard: 0, LeaseID: g1.LeaseID, Worker: "slow", Result: &res}); err != nil {
+		t.Fatal(err)
+	}
+	// Only shard 1 is grantable now; shard 0 is done and must be gone
+	// from the queue.
+	gA := s.Lease("w2")
+	if gA == nil || gA.Shard != 1 {
+		t.Fatalf("expected shard 1 grant, got %+v", gA)
+	}
+	if gB := s.Lease("w3"); gB != nil {
+		t.Fatalf("already-done shard granted again: %+v", gB)
+	}
+	res1, err := gA.Spec.RunShard(context.Background(), gA.Shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Result(ResultRequest{JobID: id, Shard: 1, LeaseID: gA.LeaseID, Worker: "w2", Result: &res1}); err != nil {
+		t.Fatal(err)
+	}
+	rep, text := waitReport(t, s, id)
+	if rep.Degraded != 0 {
+		t.Fatalf("stale-while-pending resolve degraded the job:\n%s", text)
+	}
+	if got := s.Metrics.ShardsDone.Load(); got != 2 {
+		t.Fatalf("ShardsDone = %d, want 2", got)
+	}
+	st, _ := s.Status(id)
+	if st.Leased != 0 || st.Done != 2 {
+		t.Fatalf("gauges skewed after stale resolve: %+v", st)
+	}
+}
+
+// TestStaleErrorAfterRequeue: an Err delivery from a lease that no
+// longer owns the shard (it expired and the shard was requeued) is a
+// no-op — no duplicate pending entry, so the shard can never be leased
+// to two workers at once.
+func TestStaleErrorAfterRequeue(t *testing.T) {
+	clk := newFakeClock()
+	s := NewServer(Config{LeaseTTL: time.Second, Clock: clk.Now})
+	id, _, err := s.Submit(checkJobSpec("write 1 X 1\ncommit 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := s.Lease("slow")
+	clk.Advance(2 * time.Second)
+	s.Expire() // shard 0 requeued
+	if err := s.Result(ResultRequest{JobID: id, Shard: 0, LeaseID: g1.LeaseID, Worker: "slow", Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics.ShardsRequeued.Load(); got != 1 {
+		t.Fatalf("stale Err requeued again: ShardsRequeued = %d, want 1", got)
+	}
+	g2 := s.Lease("w2")
+	if g2 == nil || g2.Shard != 0 {
+		t.Fatalf("requeued shard not grantable: %+v", g2)
+	}
+	if g3 := s.Lease("w3"); g3 != nil {
+		t.Fatalf("shard leased twice concurrently: %+v", g3)
+	}
+	res, err := g2.Spec.RunShard(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Result(ResultRequest{JobID: id, Shard: 0, LeaseID: g2.LeaseID, Worker: "w2", Result: &res}); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := waitReport(t, s, id)
+	if rep.Degraded != 0 || s.Metrics.ShardsDone.Load() != 1 {
+		t.Fatalf("stale Err handling wrong: degraded=%d done=%d", rep.Degraded, s.Metrics.ShardsDone.Load())
+	}
+	st, _ := s.Status(id)
+	if st.Leased != 0 {
+		t.Fatalf("leased gauge leaked: %+v", st)
+	}
+}
+
 // TestErrorResultRequeues: a worker reporting a failed computation sends
 // the shard back to the queue with the attempt burned.
 func TestErrorResultRequeues(t *testing.T) {

@@ -226,15 +226,24 @@ func (s *Server) Result(req ResultRequest) error {
 		return fmt.Errorf("certd: job %s has no shard %d", req.JobID, req.Shard)
 	}
 	// Release the delivering lease regardless of outcome; the leased
-	// count is settled by requeueLocked/resolveLocked below.
+	// count is settled by requeueLocked/resolveLocked below. Whether the
+	// lease still owned its shard decides the error path.
+	owned := false
 	if l, ok := s.leases[req.LeaseID]; ok && l.jobID == req.JobID && l.shard == req.Shard {
 		delete(s.leases, req.LeaseID)
+		owned = true
 	}
 	if j.state[req.Shard] == shardDone {
 		return nil // duplicate delivery
 	}
 	if req.Err != "" {
-		s.requeueLocked(j, req.Shard, fmt.Sprintf("worker %s: %s", req.Worker, req.Err))
+		// Only the lease that still owns the shard may requeue it. A
+		// stale Err — the lease expired and the shard is already back in
+		// the queue or re-leased — already had its requeue; acting on it
+		// again would enqueue the shard twice.
+		if owned && j.state[req.Shard] == shardLeased {
+			s.requeueLocked(j, req.Shard, fmt.Sprintf("worker %s: %s", req.Worker, req.Err))
+		}
 		return nil
 	}
 	if req.Result == nil {
@@ -295,6 +304,9 @@ func (s *Server) requeueLocked(j *job, shard int, reason string) {
 // — a second worker racing a stale delivery — is released; its eventual
 // result lands as a duplicate no-op.
 func (s *Server) resolveLocked(j *job, shard int, res *checkfarm.ShardResult) {
+	if j.state[shard] == shardDone {
+		return // racing duplicate — the first resolution stands
+	}
 	for id, l := range s.leases {
 		if l.jobID == j.id && l.shard == shard {
 			delete(s.leases, id)
@@ -302,6 +314,15 @@ func (s *Server) resolveLocked(j *job, shard int, res *checkfarm.ShardResult) {
 	}
 	if j.state[shard] == shardLeased {
 		j.leased--
+	}
+	// A stale result can land while the shard sits requeued in the
+	// pending FIFO (lease expired, delivery raced the re-lease): pull it
+	// out so a later Lease can't grant an already-done shard.
+	for i, p := range j.pending {
+		if p == shard {
+			j.pending = append(j.pending[:i], j.pending[i+1:]...)
+			break
+		}
 	}
 	j.state[shard] = shardDone
 	j.results[shard] = res
@@ -400,13 +421,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	for _, id := range s.order {
 		j := s.jobs[id]
-		for _, shard := range j.pending {
+		pending := j.pending
+		j.pending = nil // detach before resolving: resolveLocked edits j.pending
+		for _, shard := range pending {
+			if j.state[shard] == shardDone {
+				continue
+			}
 			res := j.spec.DegradedShard(shard, "coordinator draining")
 			s.Metrics.ShardsDegraded.Add(1)
 			j.degraded++
 			s.resolveLocked(j, shard, &res)
 		}
-		j.pending = nil
 		if !j.folded {
 			open = append(open, j)
 		}

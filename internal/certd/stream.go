@@ -132,7 +132,10 @@ func (s *Server) trackConn(c net.Conn) func() {
 func (s *Server) handleStream(conn net.Conn) {
 	defer conn.Close()
 	defer s.trackConn(conn)()
-	out := bufio.NewWriter(conn)
+	// The out-buffer must exceed the 32KB flush threshold below, or the
+	// explicit flush (with its client-gone check) could never fire —
+	// bufio would auto-flush first and swallow the error.
+	out := bufio.NewWriterSize(conn, 64*1024)
 	defer out.Flush()
 
 	// Admission control: past MaxStreams the hello is refused outright —
@@ -145,11 +148,14 @@ func (s *Server) handleStream(conn net.Conn) {
 		return
 	}
 	defer s.Metrics.StreamsOpen.Add(-1)
-	s.Metrics.StreamsTotal.Add(1)
+	streamID := fmt.Sprintf("s%d", s.Metrics.StreamsTotal.Add(1))
 
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	if !in.Scan() {
+		if err := in.Err(); err != nil {
+			fmt.Fprintf(out, "ERR read: %v\n", err)
+		}
 		return
 	}
 	o, err := parseHello(in.Text())
@@ -170,7 +176,6 @@ func (s *Server) handleStream(conn net.Conn) {
 		}
 		monitors[i] = m
 	}
-	streamID := fmt.Sprintf("s%d", s.Metrics.StreamsTotal.Load())
 	fmt.Fprintf(out, "OK %s\n", streamID)
 	out.Flush()
 
@@ -185,7 +190,12 @@ func (s *Server) handleStream(conn net.Conn) {
 		text string
 	}
 	queue := make(chan inLine, s.cfg.StreamQueue)
-	var dropped int64
+	consumerGone := make(chan struct{})
+	defer close(consumerGone) // any early return unblocks a stalled reader
+	var (
+		dropped int64
+		readErr error // written before close(queue), read after the drain loop
+	)
 	go func() {
 		defer close(queue)
 		lineNo := 0
@@ -205,9 +215,14 @@ func (s *Server) handleStream(conn net.Conn) {
 					continue
 				}
 				s.Metrics.StreamStalls.Add(1)
-				queue <- l
+				select {
+				case queue <- l:
+				case <-consumerGone:
+					return
+				}
 			}
 		}
+		readErr = in.Err()
 	}()
 
 	const maxBadDetail = 10
@@ -295,13 +310,16 @@ drain:
 		}
 	}
 	if strictErr != nil {
-		// Drain whatever the reader already queued so it can exit, then
-		// fail the stream the way -strict fails the CLI: no final verdicts.
-		go func() {
-			for range queue {
-			}
-		}()
+		// Fail the stream the way -strict fails the CLI: no final
+		// verdicts. The deferred close(consumerGone) unblocks the reader.
 		fmt.Fprintf(out, "ERR %v\n", strictErr)
+		return
+	}
+	if readErr != nil {
+		// The input died mid-stream (read error, or a line past the
+		// scanner's 1MB limit): fail explicitly rather than emitting a
+		// DONE that pretends the stream completed.
+		fmt.Fprintf(out, "ERR read: %v\n", readErr)
 		return
 	}
 

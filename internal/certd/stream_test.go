@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -256,6 +257,90 @@ func TestStreamBlockingBackpressure(t *testing.T) {
 	}
 	if s.Metrics.StreamStalls.Load() == 0 {
 		t.Fatalf("slow blocking stream recorded no stalls")
+	}
+}
+
+// TestStreamReadErrorFailsStream: an input line past the scanner's 1MB
+// limit is a read error, not a clean end — the stream fails with an
+// explicit ERR line and never emits a DONE that pretends completion.
+// net.Pipe keeps the exchange deterministic (no kernel buffers, no RST).
+func TestStreamReadErrorFailsStream(t *testing.T) {
+	s := NewServer(Config{})
+	srv, cli := net.Pipe()
+	defer cli.Close()
+	_ = cli.SetDeadline(time.Now().Add(30 * time.Second))
+	handlerDone := make(chan struct{})
+	go func() {
+		s.handleStream(srv)
+		close(handlerDone)
+	}()
+	go func() {
+		w := bufio.NewWriter(cli)
+		fmt.Fprintln(w, "STREAM du quiet")
+		_ = w.Flush()
+		fmt.Fprintln(w, "write 1 X 1")
+		fmt.Fprint(w, strings.Repeat("x", 2<<20)) // no newline within 1MB
+		_ = w.Flush()                             // errors once the server gives up — fine
+	}()
+	r := bufio.NewScanner(cli)
+	var lines []string
+	for r.Scan() {
+		lines = append(lines, r.Text())
+	}
+	select {
+	case <-handlerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream handler did not return")
+	}
+	if errLine := lastPrefixed(lines, "ERR read:"); errLine == "" {
+		t.Fatalf("oversized line not failed with ERR read: %q", lines)
+	}
+	if lastPrefixed(lines, "DONE ") != "" {
+		t.Fatalf("truncated stream still emitted DONE: %q", lines)
+	}
+}
+
+// TestStreamDeadClientReleasesReader: a blocking (non-lossy) client that
+// sends a burst and vanishes without reading must not leak the stream's
+// reader goroutine — the consumer's exit unblocks a stalled queue send.
+func TestStreamDeadClientReleasesReader(t *testing.T) {
+	s := NewServer(Config{StreamQueue: 1, SlowAppend: 200 * time.Microsecond})
+	addr := startStreams(t, s)
+	before := runtime.NumGoroutine()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetDeadline(time.Now().Add(30 * time.Second))
+	w := bufio.NewWriter(c)
+	fmt.Fprintln(w, "STREAM du")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewScanner(c)
+	if !r.Scan() || !strings.HasPrefix(r.Text(), "OK ") {
+		t.Fatalf("no OK hello: %q", r.Text())
+	}
+	// A burst big enough that (a) the echoes blow past the 32KB flush
+	// threshold and (b) lines are still queued behind the slow consumer
+	// when it detects the dead client.
+	for i := 1; i <= 1500; i++ {
+		fmt.Fprintf(w, "write %d X %d\n", i, i)
+	}
+	_ = w.Flush() // the server may already have given up on us; errors are fine
+	_ = c.Close() // vanish without ever reading the echoes
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream goroutines leaked after dead client: %d before, %d now",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if open := s.Metrics.StreamsOpen.Load(); open != 0 {
+		t.Fatalf("StreamsOpen = %d after dead client", open)
 	}
 }
 
