@@ -331,6 +331,90 @@ func BenchmarkEnginesReadOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTxnAllocs reports the steady-state allocation cost of
+// one transaction per engine, read-only and read-modify-write — the
+// gate behind the PR's hot-path surgery (pooled descriptors, slice
+// read/write sets). Allocations are per-op, so the read-only tl2,
+// norec and pdur rows must report 0 allocs/op.
+func BenchmarkEngineTxnAllocs(b *testing.B) {
+	for _, name := range engines.Names() {
+		name := name
+		b.Run(name+"/readonly", func(b *testing.B) {
+			eng, err := engines.New(name, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := stm.AtomicallyN(eng, 1_000_000, func(tx stm.Txn) error {
+					for o := 0; o < 4; o++ {
+						if _, err := tx.Read(o); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/rmw", func(b *testing.B) {
+			eng, err := engines.New(name, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := stm.AtomicallyN(eng, 1_000_000, func(tx stm.Txn) error {
+					v, err := tx.Read(i % 16)
+					if err != nil {
+						return err
+					}
+					return tx.Write((i+1)%16, v+1)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestReadOnlyTxnZeroAllocs is the CI gate for the pooled-descriptor
+// and slice-read-set rewrite: once the pools are warm, a read-only
+// transaction on tl2, norec and pdur performs zero engine-side heap
+// allocations. A regression to map read sets, per-Begin descriptor
+// allocation or sort.Ints in commit fails this immediately.
+func TestReadOnlyTxnZeroAllocs(t *testing.T) {
+	for _, name := range []string{"tl2", "norec", "pdur"} {
+		eng, err := engines.New(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readOnly := func() {
+			err := stm.AtomicallyN(eng, 1_000_000, func(tx stm.Txn) error {
+				for o := 0; o < 4; o++ {
+					if _, err := tx.Read(o); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Warm the descriptor pool and the read-set backing arrays.
+		for i := 0; i < 100; i++ {
+			readOnly()
+		}
+		if avg := testing.AllocsPerRun(200, readOnly); avg != 0 {
+			t.Errorf("%s: read-only txn allocates %.2f objects/op, want 0", name, avg)
+		}
+	}
+}
+
 // BenchmarkRecorderOverhead compares a raw TL2 transaction with the same
 // transaction under the history recorder.
 func BenchmarkRecorderOverhead(b *testing.B) {

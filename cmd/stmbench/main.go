@@ -14,6 +14,16 @@
 //	         [-seed 1] [-max-schedules N] [-jobs N] [-opacity]
 //	stmbench chaos [-engines tl2,norec,dstm] [-trials 50] [-seed 1]
 //	         [-node-limit N] [-abort-prob P] [-delay-prob P]
+//	stmbench scale [-engines tl2,tl2+karma,pdur,...] [-workloads read-heavy,...]
+//	         [-goroutines 1,2,4,8] [-txns 20000] [-repeat 3] [-seed 1] [-json]
+//	stmbench scale-gate [-bench BENCH_PR9.json] [-txns 5000] [-repeat 2]
+//	         [-seed 1] [-report fresh.json]
+//
+// The scale subcommand measures goroutines-vs-throughput curves for
+// the engine×CM matrix over three canonical workload shapes
+// (read-heavy, write-hotspot, disjoint); scale-gate holds the recorded
+// curves in BENCH_PR9.json to this PR's performance claims and
+// re-measures a small fresh grid as a CI regression gate (see scale.go).
 //
 // The explore subcommand replaces sampling with proof: for each engine it
 // enumerates *every* schedule of the deterministic stepper's space for a
@@ -72,6 +82,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "chaos" {
 		return runChaos(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "scale" {
+		return runScale(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "scale-gate" {
+		return runScaleGate(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("stmbench", flag.ContinueOnError)
 	engineList := fs.String("engines", strings.Join(engines.Names(), ","), "comma-separated engines")

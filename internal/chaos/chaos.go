@@ -41,6 +41,7 @@ package chaos
 import (
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync/atomic"
 
 	"duopacity/internal/stm"
@@ -179,15 +180,26 @@ func (t *txn) Abort() {
 // KillSafe reports whether transactions of the named engine can be
 // abandoned mid-flight (no Commit/Abort, the goroutine just stops)
 // without blocking other threads: true for the deferred engines whose
-// transactions hold no locks outside Commit (tl2, norec) and the
+// transactions hold no locks outside Commit (tl2, norec, pdur) and the
 // obstruction-free dstm (a competitor's contention manager can always
 // displace an abandoned owner). The lock-holding engines — gl holds the
 // global mutex from Begin, etl and ple lock objects at encounter — would
 // deadlock the run; drivers downgrade kill faults to spurious aborts
 // there.
+//
+// A contention-management suffix ("tl2+karma") never changes the
+// answer: CM policies only bound how long a live transaction waits at a
+// conflict, not what an abandoned one holds. The suffix is stripped
+// here (the first '+' segment is the base except for etl+v, whose base
+// etl classifies identically), mirroring engines.Parse without the
+// import.
 func KillSafe(engine string) bool {
-	switch engine {
-	case "tl2", "norec", "dstm":
+	base := engine
+	if i := strings.IndexByte(engine, '+'); i >= 0 {
+		base = engine[:i]
+	}
+	switch base {
+	case "tl2", "norec", "dstm", "pdur":
 		return true
 	}
 	return false

@@ -21,6 +21,7 @@ import (
 	"duopacity/internal/histio"
 	"duopacity/internal/spec"
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/engines"
 )
 
 // ShardKind names the farm mode a job distributes.
@@ -110,7 +111,10 @@ func (w WirePlan) Plan() (stm.Plan, error) {
 // the property that lets a coordinator and its workers agree on the work
 // without sharing memory. It mirrors exactly the defaulting the
 // in-process entry points apply (CertConfig.WithDefaults,
-// SoakConfig.withDefaults, ExplorePlans' criterion default).
+// SoakConfig.withDefaults, ExplorePlans' criterion default). Engine
+// names — including "engine+cm" matrix cells — are validated through
+// engines.Parse, so a bad name fails at submit time on the
+// coordinator, not at lease time on some worker.
 func (s JobSpec) Normalize() (JobSpec, error) {
 	switch s.Kind {
 	case KindCertify:
@@ -119,12 +123,18 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		}
 		c := *s.Certify
 		c.Config = c.Config.WithDefaults()
+		if _, _, err := engines.Parse(c.Config.Engine); err != nil {
+			return s, fmt.Errorf("checkfarm: certify job: %w", err)
+		}
 		s.Certify = &c
 	case KindExplore:
 		if s.Explore == nil || len(s.Explore.Plans) == 0 {
 			return s, fmt.Errorf("checkfarm: explore job wants a payload with plans")
 		}
 		e := *s.Explore
+		if _, _, err := engines.Parse(e.Engine); err != nil {
+			return s, fmt.Errorf("checkfarm: explore job: %w", err)
+		}
 		if e.Config.Criterion == 0 {
 			e.Config.Criterion = spec.DUOpacity
 		}
@@ -149,6 +159,11 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 		}
 		sk := *s.Soak
 		sk.Config = sk.Config.withDefaults()
+		for _, e := range sk.Config.Engines {
+			if _, _, err := engines.Parse(e); err != nil {
+				return s, fmt.Errorf("checkfarm: soak job: %w", err)
+			}
+		}
 		s.Soak = &sk
 	default:
 		return s, fmt.Errorf("checkfarm: unknown job kind %q", s.Kind)

@@ -12,6 +12,7 @@ import (
 	"duopacity/internal/history"
 	"duopacity/internal/spec"
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/engines"
 )
 
 // runRemote simulates the full distributed path of a job: the spec
@@ -360,6 +361,7 @@ func TestJobSpecNormalizeIdempotent(t *testing.T) {
 }
 
 func TestJobSpecValidation(t *testing.T) {
+	okPlan := []WirePlan{WirePlanOf(stm.MustParsePlan("w0\nr0"))}
 	bad := []JobSpec{
 		{Kind: "nope"},
 		{Kind: KindCertify},
@@ -368,10 +370,39 @@ func TestJobSpecValidation(t *testing.T) {
 		{Kind: KindExplore, Explore: &ExploreJob{Engine: "gl", Plans: []WirePlan{{Text: "x9q"}}}},
 		{Kind: KindCheck, Check: &CheckJob{Histories: []string{"not a history !!"}, Criteria: []spec.Criterion{spec.DUOpacity}}},
 		{Kind: KindSoak},
+		// Engine names go through the shared engine[+cm] parser: unknown
+		// bases, unknown CM suffixes and CM suffixes on CM-incapable
+		// engines all fail at submit time.
+		{Kind: KindCertify, Certify: &CertifyJob{
+			Config:   harness.CertConfig{Workload: harness.Workload{Engine: "tl2+bogus"}},
+			Criteria: []spec.Criterion{spec.DUOpacity},
+		}},
+		{Kind: KindExplore, Explore: &ExploreJob{Engine: "gl+karma", Plans: okPlan}},
+		{Kind: KindExplore, Explore: &ExploreJob{Engine: "nope", Plans: okPlan}},
+		{Kind: KindSoak, Soak: &SoakJob{Config: SoakConfig{Engines: []string{"tl2", "nope"}}}},
 	}
 	for i, s := range bad {
 		if _, err := s.Normalize(); err == nil {
 			t.Errorf("case %d (%s): Normalize accepted an invalid spec", i, s.Kind)
 		}
+	}
+}
+
+// TestJobSpecAcceptsEngineCMMatrix: every engine[+cm] matrix cell is a
+// valid job-spec engine name, so certd jobs can target the full grid.
+func TestJobSpecAcceptsEngineCMMatrix(t *testing.T) {
+	for _, name := range engines.Matrix() {
+		s := JobSpec{Kind: KindExplore, Explore: &ExploreJob{
+			Engine: name, Plans: []WirePlan{WirePlanOf(stm.MustParsePlan("w0\nr0"))},
+		}}
+		if _, err := s.Normalize(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	s := JobSpec{Kind: KindSoak, Soak: &SoakJob{Config: SoakConfig{
+		Engines: SoakEngineMatrix(), Rounds: 1,
+	}}}
+	if _, err := s.Normalize(); err != nil {
+		t.Errorf("soak over SoakEngineMatrix: %v", err)
 	}
 }

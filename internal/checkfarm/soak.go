@@ -17,9 +17,21 @@ import (
 
 // SoakEngines is the default engine set of the differential soak: every
 // registered engine family (the validating etl variant is covered by the
-// base etl knob and can be added explicitly).
+// base etl knob and can be added explicitly), including the
+// parallel-certification pdur engine.
 func SoakEngines() []string {
-	return []string{"gl", "ple", "norec", "tl2", "etl", "dstm"}
+	return []string{"gl", "ple", "norec", "tl2", "etl", "dstm", "pdur"}
+}
+
+// SoakEngineMatrix is the extended soak grid: the engine families plus a
+// bounded sample of contention-managed cells — one cell per CM policy,
+// spread across the CM-capable engines so every policy and every
+// CM-capable engine family appears without multiplying the grid (CI
+// time stays near-flat; the full matrix remains reachable by listing
+// names explicitly).
+func SoakEngineMatrix() []string {
+	return append(SoakEngines(),
+		"tl2+karma", "norec+backoff", "dstm+greedy", "pdur+backoff", "etl+karma")
 }
 
 // SoakConfig parameterizes a differential soak run.

@@ -17,7 +17,7 @@ func shortSoakConfig() SoakConfig {
 	return cfg
 }
 
-// TestSoakDifferential is the differential soak smoke: all six engine
+// TestSoakDifferential is the differential soak smoke: all seven engine
 // families against every implemented criterion in one run, with the
 // paper's separation surfacing as a shrunk minimal counterexample for the
 // pessimistic in-place engine under du-opacity.
@@ -28,8 +28,8 @@ func TestSoakDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := cfg.withDefaults()
-	if len(full.Engines) != 6 {
-		t.Fatalf("default soak covers %d engines, want 6", len(full.Engines))
+	if len(full.Engines) != 7 {
+		t.Fatalf("default soak covers %d engines, want 7", len(full.Engines))
 	}
 	if got, want := len(res.Cells), full.Rounds*len(full.Engines)*2; got != want {
 		t.Fatalf("soak ran %d cells, want %d", got, want)

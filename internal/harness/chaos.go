@@ -71,7 +71,7 @@ type ChaosConfig struct {
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
 	if len(cfg.Engines) == 0 {
-		cfg.Engines = []string{"tl2", "norec", "dstm"}
+		cfg.Engines = []string{"tl2", "norec", "dstm", "pdur"}
 	}
 	if cfg.Trials <= 0 {
 		cfg.Trials = 50

@@ -21,8 +21,8 @@ func TestChaosSoakPureHarness(t *testing.T) {
 	for _, f := range rep.Flips {
 		t.Errorf("soundness flip: %s", f)
 	}
-	if rep.Trials != 3*40 {
-		t.Fatalf("ran %d trials, want %d", rep.Trials, 3*40)
+	if rep.Trials != 4*40 {
+		t.Fatalf("ran %d trials, want %d", rep.Trials, 4*40)
 	}
 	if rep.SpuriousAborts == 0 || rep.CommitDelays == 0 || rep.Kills == 0 {
 		t.Errorf("engine faults not exercised: %s", rep.String())

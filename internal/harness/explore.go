@@ -695,8 +695,10 @@ func independentSteps(engine string, a, b stepDesc) bool {
 	if a.begin || b.begin || a.commit || b.commit {
 		return false
 	}
-	switch engine {
-	case "tl2", "norec":
+	// The relation is keyed on the base engine: CM suffixes change only
+	// how long conflicting steps wait, never which steps can conflict.
+	switch engines.Base(engine) {
+	case "tl2", "norec", "pdur":
 		// Deferred-update with buffered, invisible writes: a mid-
 		// transaction write mutates only transaction-local state and never
 		// aborts, so two writes commute regardless of object. Reads can

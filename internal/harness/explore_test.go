@@ -43,7 +43,7 @@ func naiveConfig() ExploreConfig {
 func TestExploreProvesDeferredUpdateEngines(t *testing.T) {
 	for _, plan := range []string{pleLitmusPlan, abortedReaderPlan} {
 		p := stm.MustParsePlan(plan)
-		for _, eng := range []string{"tl2", "norec", "gl", "dstm"} {
+		for _, eng := range []string{"tl2", "norec", "gl", "dstm", "pdur", "tl2+karma", "pdur+backoff"} {
 			r, err := ExplorePlan(eng, p, ExploreConfig{})
 			if err != nil {
 				t.Fatalf("%s: %v", eng, err)

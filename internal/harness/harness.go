@@ -63,6 +63,13 @@ type Workload struct {
 	Seed         int64
 	// MaxAttempts bounds retries per transaction (default 10_000).
 	MaxAttempts int
+	// Disjoint partitions the object space: goroutine g draws its
+	// objects only from the g-th contiguous block of Objects/Goroutines
+	// objects, so goroutines never contend on data. This is the
+	// disjoint-access shape parallel-certification engines (pdur) are
+	// built for. Requires Objects >= Goroutines (each block must hold
+	// at least one object; withDefaults grows Objects if needed).
+	Disjoint bool `json:",omitempty"`
 }
 
 func (w Workload) withDefaults() Workload {
@@ -85,6 +92,9 @@ func (w Workload) withDefaults() Workload {
 	}
 	if w.MaxAttempts == 0 {
 		w.MaxAttempts = 10_000
+	}
+	if w.Disjoint && w.Objects < w.Goroutines {
+		w.Objects = w.Goroutines // every goroutine owns at least one object
 	}
 	return w
 }
@@ -132,11 +142,19 @@ func planFor(w Workload) stm.Plan {
 	p := stm.Plan{Objects: w.Objects, Threads: make([][]stm.PlanTxn, w.Goroutines)}
 	for g := 0; g < w.Goroutines; g++ {
 		rng := rand.New(rand.NewSource(w.Seed + int64(g)*7919))
+		// Under Disjoint, goroutine g draws from its own contiguous
+		// block of the object space (the access-locality shape
+		// partitioned certification exploits).
+		lo, span := 0, w.Objects
+		if w.Disjoint {
+			span = w.Objects / w.Goroutines
+			lo = g * span
+		}
 		txns := make([]stm.PlanTxn, w.TxnsPerGoroutine)
 		for i := range txns {
 			ops := make(stm.PlanTxn, w.OpsPerTxn)
 			for j := range ops {
-				ops[j] = stm.PlanOp{Read: rng.Float64() < w.ReadFraction, Obj: rng.Intn(w.Objects)}
+				ops[j] = stm.PlanOp{Read: rng.Float64() < w.ReadFraction, Obj: lo + rng.Intn(span)}
 			}
 			txns[i] = ops
 		}

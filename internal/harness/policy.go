@@ -3,6 +3,7 @@ package harness
 import (
 	"duopacity/internal/recorder"
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/engines"
 )
 
 // This file is the single home of the deterministic stepwise execution
@@ -38,9 +39,11 @@ type schedulePolicy struct {
 }
 
 // policyFor derives the exclusion policy from the engine's locking
-// discipline.
+// discipline. The contention-management suffix is irrelevant: every cm
+// policy's waits are bounded with an escalation to abort, so a CM'd
+// engine still satisfies its base engine's admissibility rule.
 func policyFor(engine string) schedulePolicy {
-	switch engine {
+	switch engines.Base(engine) {
 	case "gl":
 		return schedulePolicy{excl: exclWholeTxn}
 	case "ple":

@@ -3,6 +3,7 @@ package spec_test
 import (
 	"testing"
 
+	"duopacity/internal/harness"
 	"duopacity/internal/history"
 	"duopacity/internal/spec"
 )
@@ -109,6 +110,155 @@ func historyFromBytes(data []byte) *history.History {
 	return h
 }
 
+// encodeHistory inverts historyFromBytes: it renders a history as the
+// byte-pair fuzz payload, renaming objects to the decoder's fixed X/Y/Z
+// alphabet in order of first use and remapping written values into the
+// decoder's 1..3 domain. Histories that do not fit the decoder's shape
+// (more than 5 transactions, 3 objects, 3 distinct written values, a
+// read of a value nothing wrote, or over 44 events) return ok=false.
+// It exists to plant real engine executions — pdur's partitioned
+// certifier interleavings in particular — into the fuzz corpus.
+func encodeHistory(h *history.History) (data []byte, ok bool) {
+	objIdx := map[history.Var]int{}
+	valMap := map[history.Value]history.Value{0: 0}
+	next := history.Value(1)
+	mapVal := func(v history.Value, extend bool) (history.Value, bool) {
+		if m, ok := valMap[v]; ok {
+			return m, true
+		}
+		if !extend || next > 3 {
+			return 0, false
+		}
+		m := next
+		next++
+		valMap[v] = m
+		return m, true
+	}
+	evs := h.Events()
+	if len(evs) > 44 {
+		return nil, false
+	}
+	for _, ev := range evs {
+		if ev.Txn < 1 || ev.Txn > 5 {
+			return nil, false
+		}
+		oi := 0
+		if ev.Op == history.OpRead || ev.Op == history.OpWrite {
+			idx, seen := objIdx[ev.Obj]
+			if !seen {
+				idx = len(objIdx)
+				if idx >= 3 {
+					return nil, false
+				}
+				objIdx[ev.Obj] = idx
+			}
+			oi = idx
+		}
+		// Brute-force the action byte: the decoder's arithmetic is cheap
+		// enough to invert by search over all 256 candidates.
+		found := false
+		for c := 0; c < 256 && !found; c++ {
+			b := byte(c)
+			if ev.Kind == history.Inv {
+				switch ev.Op {
+				case history.OpRead:
+					found = b%10 <= 3 && int((b>>4)%3) == oi
+				case history.OpWrite:
+					arg, okv := mapVal(ev.Arg, true)
+					if !okv {
+						return nil, false
+					}
+					found = b%10 >= 4 && b%10 <= 7 && int((b>>4)%3) == oi && history.Value((b>>6)%3+1) == arg
+				case history.OpTryCommit:
+					found = b%10 == 8
+				default: // OpTryAbort
+					found = b%10 == 9
+				}
+			} else {
+				switch ev.Op {
+				case history.OpRead:
+					if ev.Out == history.OutAbort {
+						found = b%5 == 0
+					} else {
+						// Only values some write introduced (or 0) decode back.
+						v, okv := mapVal(ev.Val, false)
+						if !okv {
+							return nil, false
+						}
+						found = b%5 != 0 && history.Value((b>>2)%4) == v
+					}
+				case history.OpWrite:
+					if ev.Out == history.OutAbort {
+						found = b%7 == 0
+					} else {
+						found = b%7 != 0
+					}
+				case history.OpTryCommit:
+					if ev.Out == history.OutCommit {
+						found = b%3 != 0
+					} else {
+						found = b%3 == 0
+					}
+				default: // OpTryAbort: any byte decodes to the abort response
+					found = true
+				}
+			}
+			if found {
+				data = append(data, byte(ev.Txn-1), b)
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return data, true
+}
+
+// pdurSeedWorkload is the shape of the pdur episodes planted into the
+// fuzz corpus: small enough to fit the decoder's alphabet, contended
+// enough (3 objects, 2 partitions) that cross-partition validation and
+// partition-lock ordering show up in the recorded interleavings.
+func pdurSeedWorkload(seed int64) harness.Workload {
+	return harness.Workload{
+		Engine: "pdur", Objects: 3, Goroutines: 2,
+		TxnsPerGoroutine: 1, OpsPerTxn: 3, ReadFraction: 0.5, Seed: seed,
+	}
+}
+
+// TestPdurSeedEncoderRoundTrips pins the corpus encoder: a recorded
+// pdur episode decodes back with the same event skeleton (kind, op,
+// transaction, outcome per event), and enough of the seed range
+// actually fits the decoder's alphabet to be worth planting.
+func TestPdurSeedEncoderRoundTrips(t *testing.T) {
+	encoded := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		h, _, err := harness.RunInterleaved(pdurSeedWorkload(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, ok := encodeHistory(h)
+		if !ok {
+			continue
+		}
+		encoded++
+		got := historyFromBytes(data)
+		if got.Len() != h.Len() {
+			t.Fatalf("seed %d: decoded %d events, want %d\noriginal:\n%s\ndecoded:\n%s",
+				seed, got.Len(), h.Len(), h, got)
+		}
+		gevs, wevs := got.Events(), h.Events()
+		for i := range wevs {
+			g, w := gevs[i], wevs[i]
+			if g.Kind != w.Kind || g.Op != w.Op || g.Txn != w.Txn || g.Out != w.Out {
+				t.Fatalf("seed %d event %d: decoded %+v, want skeleton of %+v", seed, i, g, w)
+			}
+		}
+	}
+	if encoded < 4 {
+		t.Fatalf("only %d/12 pdur seeds fit the fuzz alphabet; corpus planting is ineffective", encoded)
+	}
+}
+
 // FuzzCheckerDifferential asserts verdict equality — OK, rejection reason,
 // undecided flag and explored node count — between the optimized engine
 // and the frozen reference engine, for every criterion, on histories
@@ -120,6 +270,18 @@ func FuzzCheckerDifferential(f *testing.F) {
 	f.Add([]byte{0, 4, 0, 1, 1, 0, 1, 6, 0, 8, 0, 1, 1, 8, 1, 1})
 	f.Add([]byte{2, 0, 2, 4, 0, 4, 0, 1, 1, 0, 1, 4, 2, 8, 2, 1, 0, 8, 0, 2, 1, 8, 1, 2})
 	f.Add([]byte{0, 4, 0, 1, 0, 8, 1, 0, 1, 4, 0, 1, 2, 0, 2, 4, 1, 8, 2, 8, 0, 1, 1, 1, 2, 1})
+	// Real pdur executions, recorded under the deterministic interleaved
+	// scheduler and re-encoded into the fuzz alphabet: the corpus starts
+	// from interleavings a partitioned certifier actually produces
+	// (cross-partition reads, disjoint commits, partition-ordered locks)
+	// rather than only synthetic shapes.
+	for seed := int64(1); seed <= 12; seed++ {
+		if h, _, err := harness.RunInterleaved(pdurSeedWorkload(seed)); err == nil {
+			if data, ok := encodeHistory(h); ok {
+				f.Add(data)
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := historyFromBytes(data)
 		if h.Len() == 0 {

@@ -1,0 +1,158 @@
+package cm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	_, err := ParsePolicy("bogus")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, want := range Names() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list valid policy %q", err, want)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := []string{"passive", "backoff", "karma", "greedy"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if Policy(200).String() == "" {
+		t.Error("out-of-range policy has empty name")
+	}
+}
+
+// Every policy must exhaust its wait budget in bounded steps when the
+// opponent never goes away — the stepper-safety property.
+func TestConflictTerminates(t *testing.T) {
+	for _, p := range Policies() {
+		src := NewSource(p)
+		var m Manager
+		src.Reset(&m)
+		waits := 0
+		for i := 0; i < 10*waitBudget; i++ {
+			r := m.Conflict(nil)
+			if r == AbortEnemy {
+				t.Fatalf("%s: AbortEnemy against unknown enemy", p)
+			}
+			if r == AbortSelf {
+				break
+			}
+			waits++
+			m.Backoff()
+		}
+		if waits > waitBudget {
+			t.Errorf("%s: %d consecutive waits, budget is %d", p, waits, waitBudget)
+		}
+		if r := m.Conflict(nil); p != Passive && r != AbortSelf && waits < waitBudget {
+			t.Errorf("%s: conflict loop did not terminate (last resolution %s)", p, r)
+		}
+	}
+}
+
+func TestPassiveFailsFast(t *testing.T) {
+	var m Manager
+	(*Source)(nil).Reset(&m)
+	if r := m.Conflict(nil); r != AbortSelf {
+		t.Fatalf("passive resolution = %s, want abort-self", r)
+	}
+}
+
+func TestKarmaArbitratesByWork(t *testing.T) {
+	src := NewSource(Karma)
+	var rich, poor Manager
+	src.Reset(&rich)
+	src.Reset(&poor)
+	for i := 0; i < 10; i++ {
+		rich.Opened()
+	}
+	poor.Opened()
+	if r := rich.Conflict(&poor); r != AbortEnemy {
+		t.Errorf("high-karma vs low-karma = %s, want abort-enemy", r)
+	}
+	if r := poor.Conflict(&rich); r != Wait {
+		t.Errorf("low-karma vs high-karma = %s, want wait", r)
+	}
+	// Grievance accumulation: a waiting transaction whose deficit fits
+	// inside the wait budget eventually outranks a stalled owner.
+	var mid Manager
+	src.Reset(&mid)
+	for i := 0; i < waitBudget/2; i++ {
+		mid.Opened()
+	}
+	src.Reset(&poor)
+	poor.Opened()
+	for i := 0; i < waitBudget; i++ {
+		if poor.Conflict(&mid) == AbortEnemy {
+			return
+		}
+	}
+	t.Error("waiting low-karma transaction never outranked a stalled owner")
+}
+
+func TestGreedyOlderWins(t *testing.T) {
+	src := NewSource(Greedy)
+	var old, young Manager
+	src.Reset(&old)
+	src.Reset(&young)
+	if r := old.Conflict(&young); r != AbortEnemy {
+		t.Errorf("older vs younger = %s, want abort-enemy", r)
+	}
+	if r := young.Conflict(&old); r != Wait {
+		t.Errorf("younger vs older = %s, want wait", r)
+	}
+	if old.Priority() <= young.Priority() {
+		t.Errorf("old priority %d not above young %d", old.Priority(), young.Priority())
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	src := NewSource(Karma)
+	var m Manager
+	src.Reset(&m)
+	m.Opened()
+	m.Opened()
+	m.Conflict(nil)
+	src.Reset(&m)
+	if m.Priority() != 0 {
+		t.Errorf("priority after reset = %d", m.Priority())
+	}
+	if m.waits != 0 {
+		t.Errorf("waits after reset = %d", m.waits)
+	}
+}
+
+func TestProgressResetsBudget(t *testing.T) {
+	src := NewSource(Backoff)
+	var m Manager
+	src.Reset(&m)
+	for i := 0; i < waitBudget; i++ {
+		if m.Conflict(nil) != Wait {
+			t.Fatalf("wait %d refused", i)
+		}
+	}
+	if m.Conflict(nil) != AbortSelf {
+		t.Fatal("budget exhaustion did not abort")
+	}
+	m.Progress()
+	if m.Conflict(nil) != Wait {
+		t.Fatal("budget not restored after progress")
+	}
+}

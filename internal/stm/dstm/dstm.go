@@ -10,6 +10,17 @@
 // transaction see the old value, so no transaction ever reads from a
 // transaction that has not started committing: recorded histories are
 // du-opaque, like TL2's and NOrec's.
+//
+// Two contention-management surfaces coexist. The legacy Manager
+// policies (Aggressive/Polite/Timid) are dstm's original hardwired
+// family and remain the default (bare "dstm" is Aggressive). WithPolicy
+// switches the engine to the shared cm layer (internal/stm/cm), where
+// the same policies every other engine uses — backoff, karma, greedy —
+// arbitrate with full knowledge of both sides' priorities: each
+// transaction descriptor carries its cm.Manager, so karma can compare
+// work done and greedy can compare ages before deciding to wait, kill
+// the owner, or surrender. dstm is the only engine that can honor
+// cm.AbortEnemy (its descriptors make the opponent killable by CAS).
 package dstm
 
 import (
@@ -17,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/cm"
 )
 
 // status values of a transaction descriptor.
@@ -53,9 +65,12 @@ func (m Manager) String() string {
 	}
 }
 
-// desc is a transaction descriptor; locators point at it.
+// desc is a transaction descriptor; locators point at it. mgr is the
+// transaction's contention manager (cm mode only): opponents that find
+// the descriptor through a locator read its priority to arbitrate.
 type desc struct {
 	status atomic.Int32
+	mgr    cm.Manager
 }
 
 // locator binds an object version to its owning transaction: if the owner
@@ -71,8 +86,11 @@ type locator struct {
 
 // TM is a DSTM-style software transactional memory.
 type TM struct {
-	policy Manager
-	objs   []atomic.Pointer[locator]
+	policy   Manager
+	cmPolicy cm.Policy
+	useCM    bool
+	src      *cm.Source
+	objs     []atomic.Pointer[locator]
 }
 
 var _ stm.Engine = (*TM)(nil)
@@ -80,10 +98,19 @@ var _ stm.Engine = (*TM)(nil)
 // Option configures the engine.
 type Option func(*TM)
 
-// WithManager selects the contention-management policy (default
+// WithManager selects the legacy contention-management policy (default
 // Aggressive).
 func WithManager(m Manager) Option {
 	return func(t *TM) { t.policy = m }
+}
+
+// WithPolicy switches conflict arbitration to the shared cm layer with
+// the given policy. cm.Passive behaves like Timid (abort self).
+func WithPolicy(p cm.Policy) Option {
+	return func(t *TM) {
+		t.useCM = true
+		t.cmPolicy = p
+	}
 }
 
 // New returns a DSTM TM over objects t-objects initialized to zero.
@@ -91,6 +118,9 @@ func New(objects int, opts ...Option) *TM {
 	t := &TM{policy: Aggressive, objs: make([]atomic.Pointer[locator], objects)}
 	for _, o := range opts {
 		o(t)
+	}
+	if t.useCM {
+		t.src = cm.NewSource(t.cmPolicy)
 	}
 	root := &desc{}
 	root.status.Store(committed)
@@ -101,7 +131,12 @@ func New(objects int, opts ...Option) *TM {
 }
 
 // Name implements stm.Engine.
-func (t *TM) Name() string { return "dstm" }
+func (t *TM) Name() string {
+	if t.useCM && t.cmPolicy != cm.Passive {
+		return "dstm+" + t.cmPolicy.String()
+	}
+	return "dstm"
+}
 
 // Objects implements stm.Engine.
 func (t *TM) Objects() int { return len(t.objs) }
@@ -109,6 +144,7 @@ func (t *TM) Objects() int { return len(t.objs) }
 // Begin implements stm.Engine.
 func (t *TM) Begin() stm.Txn {
 	x := &txn{tm: t, self: &desc{}}
+	t.src.Reset(&x.self.mgr)
 	return x
 }
 
@@ -145,6 +181,7 @@ func (x *txn) Read(obj int) (int64, error) {
 	}
 	l := x.tm.objs[obj].Load()
 	v := current(l)
+	x.self.mgr.Opened()
 	x.rset = append(x.rset, readEntry{obj: obj, val: v})
 	// Invisible reads demand validation on every access to preserve
 	// opacity (the DSTM paper's per-open validation).
@@ -197,6 +234,8 @@ func (x *txn) Write(obj int, v int64) error {
 		cur := current(old)
 		nl := &locator{owner: x.self, oldVal: cur, newVal: v}
 		if x.tm.objs[obj].CompareAndSwap(old, nl) {
+			x.self.mgr.Progress()
+			x.self.mgr.Opened()
 			if x.wrote == nil {
 				x.wrote = make(map[int]*locator)
 			}
@@ -215,6 +254,18 @@ func (x *txn) Write(obj int, v int64) error {
 // manageConflict applies the contention policy against an active owner.
 // It returns false if the caller must abort itself.
 func (x *txn) manageConflict(owner *desc, attempt int) bool {
+	if x.tm.useCM {
+		switch x.self.mgr.Conflict(&owner.mgr) {
+		case cm.AbortEnemy:
+			owner.status.CompareAndSwap(active, aborted)
+			return true
+		case cm.Wait:
+			x.self.mgr.Backoff()
+			return true
+		default:
+			return false
+		}
+	}
 	switch x.tm.policy {
 	case Timid:
 		return false

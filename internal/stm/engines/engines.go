@@ -1,30 +1,127 @@
 // Package engines is the registry of the STM engines shipped with the
 // repository, keyed by name for the CLI tools and the harness.
+//
+// Engine names come in two parts: a base engine and an optional
+// contention-management suffix, "engine[+cm]" — e.g. "tl2+karma" is TL2
+// arbitrating conflicts with the karma policy. Parse is the one place
+// the grammar lives; every consumer (ducheck, stmbench, the soak grid,
+// certd job specs, the chaos CLI) resolves names through it, so the
+// full engine×CM matrix means the same thing everywhere. A bare name
+// means the engine's native conflict behavior (fail-fast for
+// tl2/norec/etl/pdur, the classic aggressive manager for dstm), which
+// is also what the explicit "+passive" suffix selects for the engines
+// that support CM. The CM choice never changes an engine's
+// classification: DeferredUpdate and chaos.KillSafe answer for the base
+// engine regardless of suffix.
+//
+// Note "etl+v" is a base engine name (validated etl), not a CM suffix;
+// its CM'd forms are "etl+v+<cm>".
 package engines
 
 import (
 	"fmt"
+	"strings"
 
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/cm"
 	"duopacity/internal/stm/dstm"
 	"duopacity/internal/stm/etl"
 	"duopacity/internal/stm/gl"
 	"duopacity/internal/stm/norec"
+	"duopacity/internal/stm/pdur"
 	"duopacity/internal/stm/ple"
 	"duopacity/internal/stm/tl2"
 )
 
-// Names lists the registered engine names in presentation order.
+// Names lists the registered base engine names in presentation order.
 func Names() []string {
-	return []string{"tl2", "norec", "dstm", "etl", "etl+v", "gl", "ple"}
+	return []string{"tl2", "norec", "dstm", "etl", "etl+v", "gl", "ple", "pdur"}
+}
+
+// CMEngines lists the base engines that accept a contention-management
+// suffix. gl and ple never conflict (whole-transaction or per-writer
+// exclusion), so a CM suffix on them is rejected.
+func CMEngines() []string {
+	return []string{"tl2", "norec", "dstm", "etl", "etl+v", "pdur"}
+}
+
+// Matrix enumerates every valid engine name: the bare base engines plus
+// each CM-capable engine with each non-passive policy suffix.
+func Matrix() []string {
+	out := append([]string{}, Names()...)
+	for _, e := range CMEngines() {
+		for _, p := range cm.Policies() {
+			if p != cm.Passive {
+				out = append(out, e+"+"+p.String())
+			}
+		}
+	}
+	return out
+}
+
+func isBase(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func cmCapable(name string) bool {
+	for _, n := range CMEngines() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse splits an "engine[+cm]" name into its base engine and
+// contention-management policy. A bare base name (or an explicit
+// "+passive") parses to cm.Passive. Unknown bases, unknown CM names and
+// CM suffixes on engines that take none are rejected with the valid
+// matrix in the error.
+func Parse(name string) (base string, policy cm.Policy, err error) {
+	if isBase(name) {
+		return name, cm.Passive, nil
+	}
+	// The CM suffix is the segment after the last '+' ("etl+v+karma"
+	// has base "etl+v").
+	if i := strings.LastIndexByte(name, '+'); i > 0 {
+		b, s := name[:i], name[i+1:]
+		if isBase(b) {
+			p, perr := cm.ParsePolicy(s)
+			if perr != nil {
+				return "", 0, fmt.Errorf("engines: %q: %v", name, perr)
+			}
+			if !cmCapable(b) {
+				return "", 0, fmt.Errorf("engines: engine %q takes no contention manager (CM-capable: %s)",
+					b, strings.Join(CMEngines(), ", "))
+			}
+			return b, p, nil
+		}
+	}
+	return "", 0, fmt.Errorf("engines: unknown engine %q (valid: %s)",
+		name, strings.Join(Matrix(), ", "))
+}
+
+// Base resolves a (possibly CM-suffixed) name to its base engine name.
+// Unparseable names are returned unchanged, to keep classification
+// lookups total.
+func Base(name string) string {
+	if b, _, err := Parse(name); err == nil {
+		return b
+	}
+	return name
 }
 
 // DeferredUpdate reports whether the named engine implements
 // deferred-update semantics by construction (and is therefore expected to
-// produce du-opaque histories).
+// produce du-opaque histories). The CM suffix never changes the answer.
 func DeferredUpdate(name string) bool {
-	switch name {
-	case "tl2", "norec", "dstm", "gl":
+	switch Base(name) {
+	case "tl2", "norec", "dstm", "gl", "pdur":
 		return true
 	default:
 		return false
@@ -32,23 +129,32 @@ func DeferredUpdate(name string) bool {
 }
 
 // New constructs the named engine over the given number of t-objects.
+// Names parse through Parse, so the full engine×CM matrix is accepted.
 func New(name string, objects int) (stm.Engine, error) {
-	switch name {
+	base, policy, err := Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	switch base {
 	case "tl2":
-		return tl2.New(objects), nil
+		return tl2.New(objects, tl2.WithPolicy(policy)), nil
 	case "norec":
-		return norec.New(objects), nil
+		return norec.New(objects, norec.WithPolicy(policy)), nil
 	case "dstm":
-		return dstm.New(objects), nil
+		if policy == cm.Passive {
+			return dstm.New(objects), nil // classic aggressive manager
+		}
+		return dstm.New(objects, dstm.WithPolicy(policy)), nil
 	case "etl":
-		return etl.New(objects), nil
+		return etl.New(objects, etl.WithPolicy(policy)), nil
 	case "etl+v":
-		return etl.New(objects, etl.WithValidation()), nil
+		return etl.New(objects, etl.WithValidation(), etl.WithPolicy(policy)), nil
 	case "gl":
 		return gl.New(objects), nil
 	case "ple":
 		return ple.New(objects), nil
-	default:
-		return nil, fmt.Errorf("engines: unknown engine %q (have %v)", name, Names())
+	case "pdur":
+		return pdur.New(objects, pdur.WithPolicy(policy)), nil
 	}
+	return nil, fmt.Errorf("engines: unknown engine %q (have %v)", name, Names())
 }

@@ -55,7 +55,7 @@ func TestDeferredUpdateClassification(t *testing.T) {
 	// until tryC (gl trivially, holding the lock for the whole
 	// transaction); the encounter-time engines write in place before tryC.
 	want := map[string]bool{
-		"tl2": true, "norec": true, "dstm": true, "gl": true,
+		"tl2": true, "norec": true, "dstm": true, "gl": true, "pdur": true,
 		"etl": false, "etl+v": false, "ple": false,
 	}
 	for _, name := range Names() {

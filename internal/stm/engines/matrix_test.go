@@ -1,0 +1,43 @@
+package engines
+
+import (
+	"testing"
+
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/stmtest"
+)
+
+// TestEngineCMMatrix runs the stmtest conformance suite over every cell
+// of the engine×CM matrix, including pdur — sequential semantics for
+// all, concurrent exact-counting invariants for the engines that
+// guarantee them (base etl's zombie reads and etl+v's non-atomic
+// validation window exclude them from Counter/BankInvariant; the
+// existing per-engine tests pin etl+v's Counter separately). CI runs
+// this test under the race detector as the engine×CM race job.
+func TestEngineCMMatrix(t *testing.T) {
+	goroutines, txns := 8, 150
+	if testing.Short() {
+		goroutines, txns = 4, 60
+	}
+	for _, name := range Matrix() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(objects int) stm.Engine {
+				e, err := New(name, objects)
+				if err != nil {
+					t.Fatalf("New(%q): %v", name, err)
+				}
+				return e
+			}
+			stmtest.Basic(t, f)
+			stmtest.AbortRollback(t, f)
+			stmtest.UserError(t, f)
+			stmtest.Smoke(t, f, goroutines, txns)
+			switch Base(name) {
+			case "tl2", "norec", "dstm", "pdur", "gl":
+				stmtest.Counter(t, f, goroutines, txns)
+				stmtest.BankInvariant(t, f, goroutines, txns)
+			}
+		})
+	}
+}

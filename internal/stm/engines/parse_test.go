@@ -1,0 +1,131 @@
+package engines
+
+import (
+	"strings"
+	"testing"
+
+	"duopacity/internal/chaos"
+	"duopacity/internal/stm"
+	"duopacity/internal/stm/cm"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name   string
+		base   string
+		policy cm.Policy
+	}{
+		{"tl2", "tl2", cm.Passive},
+		{"tl2+passive", "tl2", cm.Passive},
+		{"tl2+karma", "tl2", cm.Karma},
+		{"norec+backoff", "norec", cm.Backoff},
+		{"dstm+greedy", "dstm", cm.Greedy},
+		{"etl+v", "etl+v", cm.Passive}, // '+v' is part of the base name
+		{"etl+v+karma", "etl+v", cm.Karma},
+		{"etl+backoff", "etl", cm.Backoff},
+		{"pdur", "pdur", cm.Passive},
+		{"pdur+greedy", "pdur", cm.Greedy},
+		{"gl", "gl", cm.Passive},
+		{"ple", "ple", cm.Passive},
+	}
+	for _, c := range cases {
+		base, policy, err := Parse(c.name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.name, err)
+			continue
+		}
+		if base != c.base || policy != c.policy {
+			t.Errorf("Parse(%q) = %q, %s; want %q, %s", c.name, base, policy, c.base, c.policy)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	// Unknown CM suffixes are rejected with the valid matrix in the error.
+	_, _, err := Parse("tl2+bogus")
+	if err == nil {
+		t.Fatal("unknown CM accepted")
+	}
+	for _, name := range cm.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list CM %q", err, name)
+		}
+	}
+	// CM suffixes on engines that never conflict are rejected.
+	for _, name := range []string{"gl+karma", "ple+backoff"} {
+		if _, _, err := Parse(name); err == nil {
+			t.Errorf("Parse(%q) accepted; gl/ple take no CM", name)
+		}
+	}
+	// Unknown bases list the full matrix.
+	_, _, err = Parse("bogus+karma")
+	if err == nil {
+		t.Fatal("unknown base accepted")
+	}
+	for _, name := range Matrix() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list matrix entry %q", name)
+		}
+	}
+}
+
+// TestMatrixConstructs: every name in the matrix builds an engine whose
+// self-reported name round-trips (with "+passive" normalizing away) and
+// that completes a trivial transaction.
+func TestMatrixConstructs(t *testing.T) {
+	for _, name := range Matrix() {
+		e, err := New(name, 8)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, e.Name())
+		}
+		if err := stm.Atomically(e, func(tx stm.Txn) error {
+			v, err := tx.Read(0)
+			if err != nil {
+				return err
+			}
+			return tx.Write(1, v+1)
+		}); err != nil {
+			t.Errorf("%s: trivial transaction: %v", name, err)
+		}
+	}
+}
+
+// TestClassificationIgnoresCM pins the contract that the CM suffix never
+// changes an engine's classification: for every cell of the matrix (and
+// the explicit "+passive" spellings), DeferredUpdate and chaos.KillSafe
+// answer exactly as they do for the base engine.
+func TestClassificationIgnoresCM(t *testing.T) {
+	names := Matrix()
+	for _, e := range CMEngines() {
+		names = append(names, e+"+passive")
+	}
+	for _, name := range names {
+		base := Base(name)
+		if got, want := DeferredUpdate(name), DeferredUpdate(base); got != want {
+			t.Errorf("DeferredUpdate(%q) = %v, but DeferredUpdate(%q) = %v", name, got, base, want)
+		}
+		if got, want := chaos.KillSafe(name), chaos.KillSafe(base); got != want {
+			t.Errorf("chaos.KillSafe(%q) = %v, but KillSafe(%q) = %v", name, got, base, want)
+		}
+	}
+	// And the base classifications themselves are the pinned tables.
+	wantDU := map[string]bool{
+		"tl2": true, "norec": true, "dstm": true, "gl": true, "pdur": true,
+		"etl": false, "etl+v": false, "ple": false,
+	}
+	wantKS := map[string]bool{
+		"tl2": true, "norec": true, "dstm": true, "pdur": true,
+		"gl": false, "ple": false, "etl": false, "etl+v": false,
+	}
+	for _, name := range Names() {
+		if got := DeferredUpdate(name); got != wantDU[name] {
+			t.Errorf("DeferredUpdate(%q) = %v, want %v", name, got, wantDU[name])
+		}
+		if got := chaos.KillSafe(name); got != wantKS[name] {
+			t.Errorf("chaos.KillSafe(%q) = %v, want %v", name, got, wantKS[name])
+		}
+	}
+}

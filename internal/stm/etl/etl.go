@@ -2,6 +2,16 @@
 // locks acquired at first write, in-place updates with an undo log, and —
 // optionally — value-based read validation.
 //
+// Contention management is pluggable (WithPolicy): when a read or a
+// write hits an object owned by another transaction, the contention
+// manager decides whether to back off (a bounded spin — the owner may
+// release) and retry, or to roll back immediately. The default passive
+// policy reproduces the original fail-fast behavior. Waits are always
+// bounded: an owner that never releases (e.g. a vthread suspended by
+// the deterministic stepper) exhausts the wait budget and the
+// transaction degrades to fail-fast, so the stepper's no-blocking
+// admissibility rule holds for every policy.
+//
 // Eager (write-through) designs in the DSTM/TinySTM family expose a window
 // in which a doomed or still-running writer's values are observable; the
 // base configuration here deliberately keeps that window (reads are only
@@ -16,11 +26,14 @@ import (
 	"sync/atomic"
 
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/cm"
 )
 
 // TM is an encounter-time-locking software transactional memory.
 type TM struct {
 	validate bool
+	policy   cm.Policy
+	src      *cm.Source
 	nextID   atomic.Int64
 	owner    []atomic.Int64 // 0 = unowned, otherwise transaction serial
 	vals     []atomic.Int64
@@ -38,6 +51,12 @@ func WithValidation() Option {
 	return func(t *TM) { t.validate = true }
 }
 
+// WithPolicy selects the contention-management policy (default
+// cm.Passive, the fail-fast behavior).
+func WithPolicy(p cm.Policy) Option {
+	return func(t *TM) { t.policy = p }
+}
+
 // New returns an ETL TM over objects t-objects initialized to zero.
 func New(objects int, opts ...Option) *TM {
 	t := &TM{
@@ -47,15 +66,20 @@ func New(objects int, opts ...Option) *TM {
 	for _, o := range opts {
 		o(t)
 	}
+	t.src = cm.NewSource(t.policy)
 	return t
 }
 
 // Name implements stm.Engine.
 func (t *TM) Name() string {
+	name := "etl"
 	if t.validate {
-		return "etl+v"
+		name = "etl+v"
 	}
-	return "etl"
+	if t.policy != cm.Passive {
+		name += "+" + t.policy.String()
+	}
+	return name
 }
 
 // Objects implements stm.Engine.
@@ -63,7 +87,9 @@ func (t *TM) Objects() int { return len(t.vals) }
 
 // Begin implements stm.Engine.
 func (t *TM) Begin() stm.Txn {
-	return &txn{tm: t, id: t.nextID.Add(1)}
+	x := &txn{tm: t, id: t.nextID.Add(1)}
+	t.src.Reset(&x.mgr)
+	return x
 }
 
 type undoEntry struct {
@@ -84,9 +110,10 @@ type txn struct {
 	// read-log validation must compare against that value, not against the
 	// transaction's own in-place writes.
 	acqVal map[int]int64
-	undo   []undoEntry
-	rset   []readEntry
-	dead   bool
+	undo []undoEntry
+	rset []readEntry
+	mgr  cm.Manager
+	dead bool
 }
 
 var _ stm.Txn = (*txn)(nil)
@@ -98,10 +125,18 @@ func (x *txn) Read(obj int) (int64, error) {
 	if x.tm.owner[obj].Load() == x.id {
 		return x.tm.vals[obj].Load(), nil // own in-place write
 	}
-	if x.tm.owner[obj].Load() != 0 {
-		x.rollback()
-		return 0, stm.ErrAborted
+	for x.tm.owner[obj].Load() != 0 {
+		// Owned by another transaction: wait it out if the policy
+		// allows (the owner releases at commit/rollback), else fail
+		// fast.
+		if x.mgr.Conflict(nil) != cm.Wait {
+			x.rollback()
+			return 0, stm.ErrAborted
+		}
+		x.mgr.Backoff()
 	}
+	x.mgr.Progress()
+	x.mgr.Opened()
 	v := x.tm.vals[obj].Load()
 	x.rset = append(x.rset, readEntry{obj: obj, val: v})
 	if x.tm.validate && !x.valid() {
@@ -137,10 +172,15 @@ func (x *txn) Write(obj int, v int64) error {
 		return stm.ErrAborted
 	}
 	if x.tm.owner[obj].Load() != x.id {
-		if !x.tm.owner[obj].CompareAndSwap(0, x.id) {
-			x.rollback()
-			return stm.ErrAborted
+		for !x.tm.owner[obj].CompareAndSwap(0, x.id) {
+			if x.mgr.Conflict(nil) != cm.Wait {
+				x.rollback()
+				return stm.ErrAborted
+			}
+			x.mgr.Backoff()
 		}
+		x.mgr.Progress()
+		x.mgr.Opened()
 		x.owned = append(x.owned, obj)
 		if x.acqVal == nil {
 			x.acqVal = make(map[int]int64)

@@ -7,40 +7,90 @@
 // (by value) whenever the counter moves; writers serialize on the counter
 // (odd = locked), re-validate, write back, and release. Like TL2, NOrec is
 // deferred-update by construction.
+//
+// The hot path is allocation-free in steady state: read and write sets
+// are slice-backed and reused, and transactions are pooled (sync.Pool),
+// so a read-only transaction costs zero engine-side allocations. The
+// sequence counter is cache-line padded away from the value array. A
+// pooled handle stays safely inert after Commit/Abort until the engine
+// begins another transaction that recycles it; using a dead handle
+// beyond that point is a contract violation.
+//
+// Contention management is pluggable (WithPolicy): when validation
+// fails, the manager chooses how long to back off before surrendering
+// (the retried attempt then restarts from a fresh snapshot at the
+// stm.Atomically layer), which damps abort storms on hot objects. The
+// default passive policy reproduces the original fail-fast behavior.
 package norec
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"duopacity/internal/stm"
+	"duopacity/internal/stm/cm"
 )
 
 // TM is a NOrec software transactional memory.
 type TM struct {
-	seq  atomic.Int64 // even: unlocked; odd: a writer is committing
-	vals []atomic.Int64
+	seq    atomic.Int64 // even: unlocked; odd: a writer is committing
+	_      [56]byte     // keep the hot counter off the value lines
+	vals   []atomic.Int64
+	policy cm.Policy
+	src    *cm.Source
+	pool   sync.Pool
 }
 
 var _ stm.Engine = (*TM)(nil)
 
+// Option configures a TM.
+type Option func(*TM)
+
+// WithPolicy selects the contention-management policy (default
+// cm.Passive, the fail-fast behavior).
+func WithPolicy(p cm.Policy) Option {
+	return func(t *TM) { t.policy = p }
+}
+
 // New returns a NOrec TM over objects t-objects initialized to zero.
-func New(objects int) *TM {
-	return &TM{vals: make([]atomic.Int64, objects)}
+func New(objects int, opts ...Option) *TM {
+	t := &TM{vals: make([]atomic.Int64, objects)}
+	for _, o := range opts {
+		o(t)
+	}
+	t.src = cm.NewSource(t.policy)
+	t.pool.New = func() any { return new(txn) }
+	return t
 }
 
 // Name implements stm.Engine.
-func (t *TM) Name() string { return "norec" }
+func (t *TM) Name() string {
+	if t.policy == cm.Passive {
+		return "norec"
+	}
+	return "norec+" + t.policy.String()
+}
 
 // Objects implements stm.Engine.
 func (t *TM) Objects() int { return len(t.vals) }
 
 // Begin implements stm.Engine.
 func (t *TM) Begin() stm.Txn {
-	return &txn{tm: t, snap: t.stableSeq(), wset: make(map[int]int64)}
+	x := t.pool.Get().(*txn)
+	x.tm = t
+	x.snap = t.stableSeq()
+	x.rset = x.rset[:0]
+	x.wobjs = x.wobjs[:0]
+	x.wvals = x.wvals[:0]
+	x.dead = false
+	x.pooled = false
+	t.src.Reset(&x.mgr)
+	return x
 }
 
-// stableSeq waits for an even (unlocked) sequence value.
+// stableSeq waits for an even (unlocked) sequence value. Writers hold
+// the counter only across a bounded commit, so the wait is bounded.
 func (t *TM) stableSeq() int64 {
 	for {
 		s := t.seq.Load()
@@ -57,11 +107,14 @@ type readEntry struct {
 }
 
 type txn struct {
-	tm   *TM
-	snap int64
-	rset []readEntry
-	wset map[int]int64
-	dead bool
+	tm     *TM
+	snap   int64
+	rset   []readEntry
+	wobjs  []int // write set, insertion order, unique
+	wvals  []int64
+	mgr    cm.Manager
+	dead   bool
+	pooled bool
 }
 
 var _ stm.Txn = (*txn)(nil)
@@ -70,12 +123,15 @@ func (x *txn) Read(obj int) (int64, error) {
 	if x.dead {
 		return 0, stm.ErrAborted
 	}
-	if v, ok := x.wset[obj]; ok {
-		return v, nil
+	for i, o := range x.wobjs {
+		if o == obj {
+			return x.wvals[i], nil
+		}
 	}
 	for {
 		v := x.tm.vals[obj].Load()
 		if x.tm.seq.Load() == x.snap {
+			x.mgr.Opened()
 			x.rset = append(x.rset, readEntry{obj: obj, val: v})
 			return v, nil
 		}
@@ -83,6 +139,7 @@ func (x *txn) Read(obj int) (int64, error) {
 		// stable snapshot, then retry the read.
 		snap, ok := x.revalidate()
 		if !ok {
+			x.conflictBackoff()
 			x.dead = true
 			return 0, stm.ErrAborted
 		}
@@ -106,11 +163,29 @@ func (x *txn) revalidate() (int64, bool) {
 	}
 }
 
+// conflictBackoff consults the contention manager on a lost validation.
+// The abort itself is unavoidable (the snapshot is stale); what the
+// manager controls is the bounded backoff before the caller's retry
+// loop launches the next attempt into the same hot spot.
+func (x *txn) conflictBackoff() {
+	if x.mgr.Conflict(nil) == cm.Wait {
+		x.mgr.Backoff()
+	}
+}
+
 func (x *txn) Write(obj int, v int64) error {
 	if x.dead {
 		return stm.ErrAborted
 	}
-	x.wset[obj] = v
+	for i, o := range x.wobjs {
+		if o == obj {
+			x.wvals[i] = v
+			return nil
+		}
+	}
+	x.mgr.Opened()
+	x.wobjs = append(x.wobjs, obj)
+	x.wvals = append(x.wvals, v)
 	return nil
 }
 
@@ -119,7 +194,8 @@ func (x *txn) Commit() error {
 		return stm.ErrAborted
 	}
 	x.dead = true
-	if len(x.wset) == 0 {
+	if len(x.wobjs) == 0 {
+		x.put()
 		return nil // read-only: the log was valid at snap
 	}
 	// Acquire the sequence lock at a snapshot under which our reads are
@@ -127,15 +203,33 @@ func (x *txn) Commit() error {
 	for !x.tm.seq.CompareAndSwap(x.snap, x.snap+1) {
 		snap, ok := x.revalidate()
 		if !ok {
+			x.conflictBackoff()
+			x.put()
 			return stm.ErrAborted
 		}
 		x.snap = snap
 	}
-	for o, v := range x.wset {
-		x.tm.vals[o].Store(v)
+	for i, o := range x.wobjs {
+		x.tm.vals[o].Store(x.wvals[i])
 	}
 	x.tm.seq.Store(x.snap + 2)
+	x.put()
 	return nil
 }
 
-func (x *txn) Abort() { x.dead = true }
+func (x *txn) Abort() {
+	if x.dead {
+		if !x.pooled {
+			x.put() // killed mid-flight; this Abort is the terminal call
+		}
+		return
+	}
+	x.dead = true
+	x.put()
+}
+
+// put recycles the transaction. Callers must not touch x afterwards.
+func (x *txn) put() {
+	x.pooled = true
+	x.tm.pool.Put(x)
+}

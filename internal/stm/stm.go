@@ -23,6 +23,15 @@
 //   - ple:   a pessimistic, abort-free engine with in-place writes and
 //     unvalidated reads, reproducing the non-deferred-update signature the
 //     paper attributes to pessimistic STMs [Afek, Matveev, Shavit].
+//   - pdur:  parallel deferred-update certification — t-objects are
+//     partitioned across independent seqlock-protected certifiers, so
+//     commits touching disjoint partitions proceed in parallel
+//     (following the SCert/PaT line of arXiv:1312.0742).
+//
+// The CM-capable engines (tl2, norec, dstm, etl, etl+v, pdur) also accept
+// a contention-management policy from internal/stm/cm, selected by the
+// "engine+policy" names that internal/stm/engines parses ("tl2+karma",
+// "pdur+backoff", ...).
 package stm
 
 import "errors"
