@@ -8,8 +8,10 @@ package duopacity_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -726,30 +728,43 @@ func longSeqStream(n, objs int) []history.Event {
 // txns=1000 and txns=10000 — with every response decided OK, where the
 // old monitor went permanently undecided at transaction 65. The reported
 // ns/event metric makes the flatness visible across the sub-benchmarks.
+// The tms2/ and rco/ variants run the same stream under the
+// conflict-order monitors: their incremental edge maintenance must ride
+// the same flat curve (BENCH_PR10.json records the per-event claims; the
+// du sub-benchmark names are unchanged from BENCH_PR6.json).
 func BenchmarkMonitorLongStream(b *testing.B) {
-	for _, n := range []int{1000, 10_000} {
-		evs := longSeqStream(n, 4)
-		b.Run(fmt.Sprintf("txns=%d", n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				m, err := spec.NewMonitor(spec.DUOpacity, spec.WithRetirement(32))
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, e := range evs {
-					if _, err := m.Append(e); err != nil {
+	for _, cr := range []struct {
+		prefix string
+		c      spec.Criterion
+	}{
+		{"", spec.DUOpacity},
+		{"tms2/", spec.TMS2},
+		{"rco/", spec.RCO},
+	} {
+		for _, n := range []int{1000, 10_000} {
+			evs := longSeqStream(n, 4)
+			b.Run(fmt.Sprintf("%stxns=%d", cr.prefix, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m, err := spec.NewMonitor(cr.c, spec.WithRetirement(32))
+					if err != nil {
 						b.Fatal(err)
 					}
+					for _, e := range evs {
+						if _, err := m.Append(e); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if v := m.Verdict(); !v.OK || v.Undecided {
+						b.Fatalf("stream must stay decided OK: %+v", v)
+					}
+					if m.Retired() == 0 {
+						b.Fatal("retirement never fired")
+					}
 				}
-				if v := m.Verdict(); !v.OK || v.Undecided {
-					b.Fatalf("stream must stay decided OK: %+v", v)
-				}
-				if m.Retired() == 0 {
-					b.Fatal("retirement never fired")
-				}
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(evs)), "ns/event")
-		})
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(evs)), "ns/event")
+			})
+		}
 	}
 }
 
@@ -759,7 +774,10 @@ func BenchmarkMonitorLongStream(b *testing.B) {
 // the last quarter of the stream may not cost more than 3x the second
 // quarter (the first quarter is excluded as warm-up; a monitor whose cost
 // grows with history length fails by a wide margin, the pre-retirement
-// monitor's last quarter being >100x its second).
+// monitor's last quarter being >100x its second). The same gate runs for
+// the TMS2 and RCO monitors: incremental edge maintenance must not bend
+// the curve — a whole-history edge rebuild per event would fail it by
+// orders of magnitude.
 func TestMonitorLongStreamSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison skipped in -short mode")
@@ -769,35 +787,115 @@ func TestMonitorLongStreamSmoke(t *testing.T) {
 		window = 32
 	)
 	evs := longSeqStream(n, 4)
-	m, err := spec.NewMonitor(spec.DUOpacity, spec.WithRetirement(window))
+	for _, c := range []spec.Criterion{spec.DUOpacity, spec.TMS2, spec.RCO} {
+		t.Run(c.String(), func(t *testing.T) {
+			m, err := spec.NewMonitor(c, spec.WithRetirement(window))
+			if err != nil {
+				t.Fatal(err)
+			}
+			quarter := len(evs) / 4
+			var qdur [4]time.Duration
+			for q := 0; q < 4; q++ {
+				chunk := evs[q*quarter : (q+1)*quarter]
+				start := time.Now()
+				for i, e := range chunk {
+					v, err := m.Append(e)
+					if err != nil {
+						t.Fatalf("quarter %d event %d: %v", q, i, err)
+					}
+					if !v.OK || v.Undecided {
+						t.Fatalf("quarter %d event %d: verdict %+v, want decided OK", q, i, v)
+					}
+				}
+				qdur[q] = time.Since(start)
+				if live := m.LiveTxns(); live > 2*window+1 {
+					t.Fatalf("quarter %d: %d live transactions, want <= %d", q, live, 2*window+1)
+				}
+			}
+			t.Logf("quarter durations: %v (live=%d retired=%d)", qdur, m.LiveTxns(), m.Retired())
+			if m.Retired() < n-2*window-1 {
+				t.Fatalf("Retired = %d, want nearly all of %d", m.Retired(), n)
+			}
+			if qdur[3] > 3*qdur[1] {
+				t.Fatalf("per-event cost is not flat: quarter 4 took %v, quarter 2 took %v", qdur[3], qdur[1])
+			}
+		})
+	}
+}
+
+// TestMonitorOnlineBenchGate holds BENCH_PR10.json to the PR's claim:
+// incremental conflict-order edge maintenance keeps the TMS2 and RCO
+// monitors within 2x of the du-opacity monitor's per-event cost on the
+// 1k-transaction long-stream bench (recorded arithmetic, deterministic),
+// and a fresh re-measurement of the tms2/du ratio stays under the loose
+// 4x margin — wide enough for noisy shared runners, tight enough that a
+// whole-history edge rebuild per event (O(txns^2) total) fails it.
+func TestMonitorOnlineBenchGate(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_PR10.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	quarter := len(evs) / 4
-	var qdur [4]time.Duration
-	for q := 0; q < 4; q++ {
-		chunk := evs[q*quarter : (q+1)*quarter]
-		start := time.Now()
-		for i, e := range chunk {
-			v, err := m.Append(e)
+	var rec struct {
+		Gates struct {
+			TMS2RecordedMax float64 `json:"tms2_vs_du_ns_per_event_recorded_max"`
+			RCORecordedMax  float64 `json:"rco_vs_du_ns_per_event_recorded_max"`
+			TMS2FreshMax    float64 `json:"tms2_vs_du_ns_per_event_fresh_max"`
+		} `json:"gates"`
+		Benchmarks map[string]struct {
+			NsPerEvent float64 `json:"ns_per_event"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := func(name string) float64 {
+		b, ok := rec.Benchmarks[name]
+		if !ok || b.NsPerEvent <= 0 {
+			t.Fatalf("BENCH_PR10.json missing %s ns_per_event", name)
+		}
+		return b.NsPerEvent
+	}
+	du := perEvent("BenchmarkMonitorLongStream/txns=1000")
+	for name, max := range map[string]float64{
+		"BenchmarkMonitorLongStream/tms2/txns=1000": rec.Gates.TMS2RecordedMax,
+		"BenchmarkMonitorLongStream/rco/txns=1000":  rec.Gates.RCORecordedMax,
+	} {
+		if max <= 0 {
+			t.Fatal("BENCH_PR10.json gates missing or zero")
+		}
+		if ratio := perEvent(name) / du; ratio > max {
+			t.Errorf("recorded %s is %.2fx du-opacity per event, gate is %.1fx", name, ratio, max)
+		}
+	}
+
+	if testing.Short() {
+		t.Skip("fresh re-measurement skipped in -short mode")
+	}
+	evs := longSeqStream(1000, 4)
+	measure := func(c spec.Criterion) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < 3; round++ {
+			m, err := spec.NewMonitor(c, spec.WithRetirement(32))
 			if err != nil {
-				t.Fatalf("quarter %d event %d: %v", q, i, err)
+				t.Fatal(err)
 			}
-			if !v.OK || v.Undecided {
-				t.Fatalf("quarter %d event %d: verdict %+v, want decided OK", q, i, v)
+			start := time.Now()
+			for _, e := range evs {
+				if _, err := m.Append(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
 			}
 		}
-		qdur[q] = time.Since(start)
-		if live := m.LiveTxns(); live > 2*window+1 {
-			t.Fatalf("quarter %d: %d live transactions, want <= %d", q, live, 2*window+1)
-		}
+		return best
 	}
-	t.Logf("quarter durations: %v (live=%d retired=%d)", qdur, m.LiveTxns(), m.Retired())
-	if m.Retired() < n-2*window-1 {
-		t.Fatalf("Retired = %d, want nearly all of %d", m.Retired(), n)
-	}
-	if qdur[3] > 3*qdur[1] {
-		t.Fatalf("per-event cost is not flat: quarter 4 took %v, quarter 2 took %v", qdur[3], qdur[1])
+	duFresh, tms2Fresh := measure(spec.DUOpacity), measure(spec.TMS2)
+	ratio := float64(tms2Fresh) / float64(duFresh)
+	t.Logf("fresh 1k-txn stream: du %v, tms2 %v (%.2fx)", duFresh, tms2Fresh, ratio)
+	if ratio > rec.Gates.TMS2FreshMax {
+		t.Errorf("fresh tms2 per-event cost is %.2fx du-opacity, gate is %.1fx", ratio, rec.Gates.TMS2FreshMax)
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	ducheck [-criteria du,opacity,...] [-witness] file...
 //	ducheck -parallel [-jobs N] [-portfolio N] file...
-//	ducheck -follow [-criteria du,opacity,finalstate] [-retire N] [-skip-bad|-strict] [-connect host:port] [-]
+//	ducheck -follow [-criteria du,tms2,rco,opacity,finalstate] [-retire N] [-skip-bad|-strict] [-connect host:port] [-]
 //	ducheck -explore -engine tl2 [-criteria du,opacity] [-max-schedules N] plan...
 //
 // With several files (or -parallel), every file is checked against every
@@ -22,8 +22,11 @@
 // requested criterion, printing a verdict column after every response
 // event — so a violation is reported at the exact event that caused it,
 // while the producer is still running. Only the monitorable criteria
-// (du, opacity, finalstate) are allowed with -follow. Malformed lines
-// are reported on stderr and skipped; the monitors are unaffected.
+// (see spec.MonitorableCriteria: du, tms2, rco, opacity, finalstate —
+// tms2 and rco maintain their conflict-order edge sets incrementally)
+// are allowed with -follow; the serializability baselines stay
+// batch-only. Malformed lines are reported on stderr and skipped; the
+// monitors are unaffected.
 // -skip-bad quarantines bad input instead: each offender is counted
 // (not noted line by line), a structured report lists the first ten on
 // stderr at the end, and the summary gains a "follow: events=N bad=M"
@@ -101,7 +104,7 @@ func runWith(args []string, stdin io.Reader, stdout, stderr io.Writer) (int, err
 	portfolio := fs.Int("portfolio", 0,
 		"fan each check's top-level search branches across this many workers (spec.WithParallelism; useful for one hard history, combine with -parallel for many)")
 	follow := fs.Bool("follow", false,
-		"monitor events from stdin as they arrive (streaming ingestion; criteria limited to du, opacity, finalstate)")
+		"monitor events from stdin as they arrive (streaming ingestion; criteria limited to "+spec.MonitorableNames()+")")
 	retire := fs.Int("retire", 0,
 		"with -follow: retire settled committed transactions once this many are live, bounding monitor memory on long streams (0 = keep everything)")
 	skipBad := fs.Bool("skip-bad", false,

@@ -211,11 +211,109 @@ func TestRetireRequiresFollow(t *testing.T) {
 }
 
 func TestFollowRejectsUnmonitorableCriteria(t *testing.T) {
-	if code, err := run([]string{"-follow", "-criteria", "tms2"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
-		t.Fatalf("tms2 with -follow: code=%d err=%v, want input error", code, err)
+	// The serializability baselines are batch-only: violations can appear
+	// and disappear as completions resolve, so they have no online monitor.
+	for _, crit := range []string{"strictser", "ser"} {
+		code, err := run([]string{"-follow", "-criteria", crit}, strings.NewReader(""), &strings.Builder{})
+		if err == nil || code != 2 {
+			t.Fatalf("%s with -follow: code=%d err=%v, want input error", crit, code, err)
+		}
+		// The rejection names the monitorable criteria from the shared table.
+		for _, want := range []string{"tms2", "rco", "finalstate"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s rejection %q does not list monitorable criterion %q", crit, err.Error(), want)
+			}
+		}
 	}
 	if code, err := run([]string{"-follow", "somefile"}, strings.NewReader(""), &strings.Builder{}); err == nil || code != 2 {
 		t.Fatalf("file argument with -follow: code=%d err=%v, want input error", code, err)
+	}
+}
+
+func TestFollowConflictOrderCriteria(t *testing.T) {
+	// Figure 6: du-opaque, but the committed writer T1 must precede reader
+	// T2 under TMS2 (T2's read set is final at its tryC invocation), and
+	// T2 read the pre-state of X. The TMS2 monitor latches the violation
+	// at T2's commit response — the first response after the edge arrives
+	// — while the RCO monitor accepts every prefix.
+	fig6 := "read 1 X 0\nwrite 1 X 1\nread 2 X 0\ncommit 1\nwrite 2 Y 1\ncommit 2\n"
+	var out strings.Builder
+	code, err := run([]string{"-follow", "-criteria", "tms2,rco"}, strings.NewReader(fig6), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	lines := strings.Split(s, "\n")
+	first := -1
+	for i, l := range lines {
+		if strings.Contains(l, "TMS2:VIOLATED") {
+			first = i
+			break
+		}
+	}
+	if first < 0 || !strings.Contains(lines[first], "tryC_2") {
+		t.Fatalf("TMS2 violation not latched at T2's commit response:\n%s", s)
+	}
+	if !strings.Contains(lines[first], "rco-opacity:ok") {
+		t.Errorf("RCO column missing or rejecting on the violating line:\n%s", s)
+	}
+	if !strings.Contains(s, "TMS2: violated") || !strings.Contains(s, "rco-opacity: OK") {
+		t.Errorf("final verdicts wrong (want TMS2 violated, rco OK):\n%s", s)
+	}
+
+	// The mirror: Figure 5 is rejected by RCO and accepted by TMS2 —
+	// reader T2 stays live, so TMS2 never gains an edge into it, while
+	// RCO orders T2 before the overtaking committed writer T3 and T2's
+	// later read of T3's write closes the cycle.
+	fig5 := "write 1 X 1\ncommit 1\nread 2 X 1\nwrite 3 X 1\nwrite 3 Y 1\ncommit 3\nread 2 Y 1\n"
+	out.Reset()
+	code, err = run([]string{"-follow", "-criteria", "tms2,rco"}, strings.NewReader(fig5), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("figure-5 exit code = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "rco-opacity: violated") || !strings.Contains(out.String(), "TMS2: OK") {
+		t.Errorf("figure-5 final verdicts wrong (want rco violated, TMS2 OK):\n%s", out.String())
+	}
+}
+
+func TestFollowConflictOrderRetirement(t *testing.T) {
+	// A long stream of committed writer/reader pairs under the TMS2 and
+	// RCO monitors with a retirement window: every prefix stays decided,
+	// the verdicts stay OK, and the summary shows the window bounded.
+	var src strings.Builder
+	const n = 120
+	for k := 1; k <= n; k++ {
+		fmt.Fprintf(&src, "write %d X %d\ncommit %d\n", k, k%4, k)
+	}
+	var out strings.Builder
+	code, err := run([]string{"-follow", "-criteria", "tms2,rco", "-retire", "8"}, strings.NewReader(src.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "undecided") || strings.Contains(s, "VIOLATED") {
+		t.Fatalf("conflict-order monitors degraded under retirement:\n%s", s)
+	}
+	re := regexp.MustCompile(`(\d+) events, (\d+) transactions retired, (\d+) live`)
+	ms := re.FindAllStringSubmatch(s, -1)
+	if len(ms) != 2 {
+		t.Fatalf("want a retirement summary per criterion, got %d:\n%s", len(ms), s)
+	}
+	for _, m := range ms {
+		retired, _ := strconv.Atoi(m[2])
+		live, _ := strconv.Atoi(m[3])
+		if retired < n-17 || live > 17 {
+			t.Errorf("retired=%d live=%d: window not bounded over %d transactions", retired, live, n)
+		}
 	}
 }
 

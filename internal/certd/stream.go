@@ -15,8 +15,9 @@ import (
 
 // streamOpts is a parsed STREAM hello. Criteria names are ducheck's
 // -criteria flag names (spec.ParseCriterion aliases); NewMonitor rejects
-// the non-monitorable ones, so a STREAM hello asking for tms2 fails with
-// the monitor's own explanation.
+// the non-monitorable ones, so a STREAM hello asking for a batch-only
+// baseline (strictser, ser) fails with the monitor's own explanation,
+// which lists the monitorable set — du, tms2, rco, opacity, finalstate.
 type streamOpts struct {
 	criteria  []spec.Criterion
 	retire    int

@@ -352,7 +352,7 @@ func TestStreamHelloErrors(t *testing.T) {
 	for _, hello := range []string{
 		"NOT A HELLO",
 		"STREAM nope",
-		"STREAM tms2", // not monitorable
+		"STREAM strictser", // batch-only: no online monitor
 		"STREAM du retire=x",
 		"STREAM du skipbad strict",
 	} {
@@ -360,6 +360,90 @@ func TestStreamHelloErrors(t *testing.T) {
 		if !sc.r.Scan() || !strings.HasPrefix(sc.r.Text(), "ERR ") {
 			t.Errorf("hello %q not refused: %q", hello, sc.r.Text())
 		}
+	}
+}
+
+// TestStreamConflictOrderCriteria: the TMS2 and RCO monitors are served
+// over the wire like the others — the hello accepts them, per-event
+// verdict columns and final verdicts stream back, and a Figure-6-shaped
+// stream trips TMS2 (latched, counted in DONE) while RCO stays OK.
+func TestStreamConflictOrderCriteria(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+
+	// Clean stream: both criteria accept, columns echo per response.
+	sc := dialStream(t, addr, "STREAM tms2,rco")
+	sc.send(t,
+		"write 1 X 1",
+		"commit 1",
+		"read 2 X 1",
+		"commit 2",
+		"END",
+	)
+	lines := sc.collect(t)
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "OK ") {
+		t.Fatalf("no OK hello: %q", lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "TMS2:ok") || !strings.Contains(joined, "rco-opacity:ok") {
+		t.Fatalf("per-event verdict columns missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "TMS2: OK") || !strings.Contains(joined, "rco-opacity: OK") {
+		t.Fatalf("final verdicts missing:\n%s", joined)
+	}
+	if done := lastPrefixed(lines, "DONE "); !strings.Contains(done, "violations=0") {
+		t.Fatalf("DONE wrong: %q", done)
+	}
+
+	// Figure 6: TMS2 orders committed writer T1 before reader T2, whose
+	// read of the pre-state then has no legal serialization; RCO accepts.
+	sc = dialStream(t, addr, "STREAM tms2,rco quiet")
+	sc.send(t,
+		"read 1 X 0",
+		"write 1 X 1",
+		"read 2 X 0",
+		"commit 1",
+		"write 2 Y 1",
+		"commit 2",
+		"END",
+	)
+	lines = sc.collect(t)
+	joined = strings.Join(lines, "\n")
+	if !strings.Contains(joined, "TMS2: violated") {
+		t.Fatalf("TMS2 did not latch the figure-6 violation:\n%s", joined)
+	}
+	if !strings.Contains(joined, "rco-opacity: OK") {
+		t.Fatalf("RCO should accept figure 6:\n%s", joined)
+	}
+	if done := lastPrefixed(lines, "DONE "); !strings.Contains(done, "violations=1") {
+		t.Fatalf("DONE wrong: %q", done)
+	}
+}
+
+// TestStreamConflictOrderRetirement: TMS2's incremental edge state is
+// checkpointed with the retirement window — a long stream stays bounded
+// and decided, mirroring ducheck -follow -criteria tms2 -retire.
+func TestStreamConflictOrderRetirement(t *testing.T) {
+	s := NewServer(Config{})
+	addr := startStreams(t, s)
+	sc := dialStream(t, addr, "STREAM tms2 retire=4 quiet")
+	lines := make([]string, 0, 81)
+	for i := 1; i <= 40; i++ {
+		lines = append(lines, fmt.Sprintf("write %d X %d", i, i), fmt.Sprintf("commit %d", i))
+	}
+	lines = append(lines, "END")
+	sc.send(t, lines...)
+	out := sc.collect(t)
+	joined := strings.Join(out, "\n")
+	if strings.Contains(joined, "undecided") || strings.Contains(joined, "violated") {
+		t.Fatalf("TMS2 degraded under retirement:\n%s", joined)
+	}
+	var evs, retired, live int
+	if _, err := fmt.Sscanf(lastPrefixed(out, "TMS2: "), "TMS2: %d events, %d transactions retired, %d live", &evs, &retired, &live); err != nil {
+		t.Fatalf("retirement summary missing or unparsable:\n%s", joined)
+	}
+	if retired == 0 || live > 9 {
+		t.Fatalf("retirement not bounding the window: retired=%d live=%d", retired, live)
 	}
 }
 

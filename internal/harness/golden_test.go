@@ -71,4 +71,35 @@ func TestTMS2AbortedReaderGolden(t *testing.T) {
 			t.Errorf("%s must accept the golden history, got %s", c, v)
 		}
 	}
+
+	// The online path must reproduce the batch divergence event by event.
+	// Without the exemption the TMS2 monitor latches a violation somewhere
+	// in the stream (the conflict-order edge T13 -> T12 becomes
+	// unsatisfiable); with it, the edge is dropped at T12's abort response
+	// and every prefix stays clean. This replays the exact golden bytes
+	// through the incremental edge tracker, pinning the monitor's edge
+	// maintenance to the batch reading on both sides of the knob.
+	for _, tc := range []struct {
+		name   string
+		opts   []spec.Option
+		wantOK bool
+	}{
+		{"monitor-strict", nil, false},
+		{"monitor-exempt", []spec.Option{spec.WithTMS2AbortedReaderExemption()}, true},
+	} {
+		m, err := spec.NewMonitor(spec.TMS2, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var v spec.Verdict
+		for _, e := range h.Events() {
+			if v, err = m.Append(e); err != nil {
+				t.Fatalf("%s: monitor rejected golden event %v: %v", tc.name, e, err)
+			}
+		}
+		if v.Undecided || v.OK != tc.wantOK {
+			t.Errorf("%s: online TMS2 verdict OK=%v undecided=%v, want OK=%v (reason %q)",
+				tc.name, v.OK, v.Undecided, tc.wantOK, v.Reason)
+		}
+	}
 }

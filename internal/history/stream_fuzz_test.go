@@ -46,16 +46,34 @@ func decodeEvent(b0, b1, b2 byte) history.Event {
 // end the stream's history, its incrementally maintained index and the
 // du-opacity verdict must equal the batch constructions — the same pin
 // the checker rewrite's FuzzCheckerDifferential provides for the search
-// engine.
+// engine. The sel byte additionally draws a monitorable criterion (and
+// a retirement window, and the TMS2 aborted-reader exemption): the
+// accepted events are replayed through a spec.Monitor, and whenever the
+// monitor latches a violation the batch checker must reject that exact
+// response prefix; if it never latches, the final verdicts must agree
+// at the last response prefix.
 func FuzzStreamDifferential(f *testing.F) {
-	f.Add([]byte{})
+	f.Add([]byte{}, byte(0))
 	// write_1(X,1) ok, tryC_1 C, read_2(X)->1, tryC_2 C.
 	f.Add([]byte{
 		1, 1, 4, 5, 1, 4, 2, 1, 0, 6, 1, 0,
 		0, 2, 4, 4, 2, 4, 2, 2, 0, 6, 2, 0,
-	})
+	}, byte(1)) // replayed under the TMS2 monitor
 	// Invalid attempts mixed in: orphan response, reserved id.
-	f.Add([]byte{4, 3, 0, 0, 0, 0, 1, 1, 4})
+	f.Add([]byte{4, 3, 0, 0, 0, 0, 1, 1, 4}, byte(0))
+	// Figure 6's shape in the stream alphabet — the du-opaque history
+	// TMS2 rejects and RCO accepts — seeded once per criterion it
+	// separates: r1(X)->0, w1(X,1), r2(X)->0, C1, w2(Y,1), C2.
+	fig6 := []byte{
+		0, 1, 0, 4, 1, 0, // read_1(X) -> 0
+		1, 1, 6, 5, 1, 6, // write_1(X, 1)
+		0, 2, 0, 4, 2, 0, // read_2(X) -> 0
+		2, 1, 0, 14, 1, 0, // tryC_1 -> C
+		1, 2, 4, 5, 2, 4, // write_2(Y, 1)
+		2, 2, 0, 14, 2, 0, // tryC_2 -> C
+	}
+	f.Add(fig6, byte(1)) // TMS2 latches
+	f.Add(fig6, byte(2)) // RCO stays OK
 	// 130 sequential committed writers: a seed that crosses both bitset
 	// word boundaries (64 and 128 transactions), so the corpus routinely
 	// mutates around them. Encoding per decodeEvent: write inv {1,k,b2},
@@ -65,8 +83,8 @@ func FuzzStreamDifferential(f *testing.F) {
 		b2 := byte(k%4<<2) | byte(k%3)
 		long = append(long, 1, byte(k), b2, 5, byte(k), b2, 2, byte(k), 0, 14, byte(k), 0)
 	}
-	f.Add(long)
-	f.Fuzz(func(t *testing.T, data []byte) {
+	f.Add(long, byte(0x22)) // RCO with a retirement window
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
 		const maxEvents = 600
 		s := history.NewStream()
 		var accepted []history.Event
@@ -108,6 +126,58 @@ func FuzzStreamDifferential(f *testing.F) {
 		vb := spec.CheckDUOpacity(batch, spec.WithNodeLimit(nodeLimit))
 		if vs.OK != vb.OK || vs.Undecided != vb.Undecided || vs.Reason != vb.Reason {
 			t.Fatalf("verdicts diverge: stream %v, batch %v", vs, vb)
+		}
+
+		// Online monitor differential: replay the accepted events through a
+		// spec.Monitor for the criterion (retirement window, exemption)
+		// drawn from sel. A latched violation must be confirmed by the
+		// batch checker on that exact response prefix; a never-latched run
+		// must agree with the batch verdict at the last response prefix
+		// (responses are where the monitor's verdict is defined — trailing
+		// invocations only add completion choices or record deferred
+		// edges). Undecided verdicts on either side skip the comparison.
+		const monLimit = 2_000
+		mcs := spec.MonitorableCriteria()
+		mc := mcs[int(sel&0x0f)%len(mcs)]
+		monOpts := []spec.Option{spec.WithNodeLimit(monLimit)}
+		batchOpts := []spec.Option{spec.WithNodeLimit(nodeLimit)}
+		if window := []int{0, 0, 4, 16}[int(sel>>4)%4]; window > 0 {
+			monOpts = append(monOpts, spec.WithRetirement(window))
+		}
+		if mc == spec.TMS2 && sel&0x80 != 0 {
+			monOpts = append(monOpts, spec.WithTMS2AbortedReaderExemption())
+			batchOpts = append(batchOpts, spec.WithTMS2AbortedReaderExemption())
+		}
+		m, err := spec.NewMonitor(mc, monOpts...)
+		if err != nil {
+			t.Fatalf("NewMonitor(%v): %v", mc, err)
+		}
+		var mv spec.Verdict
+		latchedAt, lastRes := -1, -1
+		for i, e := range accepted {
+			mv, err = m.Append(e)
+			if err != nil {
+				t.Fatalf("monitor rejected stream-accepted event %v: %v", e, err)
+			}
+			if e.Kind == history.Res {
+				lastRes = i
+			}
+			if latchedAt < 0 && !mv.OK && !mv.Undecided {
+				latchedAt = i
+			}
+		}
+		if latchedAt >= 0 {
+			want := spec.Check(batch.Prefix(latchedAt+1), mc, batchOpts...)
+			if want.OK {
+				t.Fatalf("%v monitor latched a violation at event %d (%q) but the batch checker accepts that prefix",
+					mc, latchedAt, mv.Reason)
+			}
+		} else if lastRes >= 0 && !mv.Undecided {
+			want := spec.Check(batch.Prefix(lastRes+1), mc, batchOpts...)
+			if !want.Undecided && mv.OK != want.OK {
+				t.Fatalf("%v final verdicts diverge at response prefix %d: monitor OK=%v, batch OK=%v (reason %q)",
+					mc, lastRes+1, mv.OK, want.OK, want.Reason)
+			}
 		}
 	})
 }

@@ -153,6 +153,55 @@ func AllCriteria() []Criterion {
 	}
 }
 
+// monitorableCriteria is the single source of truth for which criteria
+// NewMonitor accepts. The NewMonitor error message, the CLI help
+// (ducheck -follow, the certd STREAM hello) and the docs criteria matrix
+// all derive from this table, so they cannot drift from the switch that
+// used to encode it.
+var monitorableCriteria = []Criterion{
+	DUOpacity, TMS2, RCO, Opacity, FinalStateOpacity,
+}
+
+// MonitorableCriteria lists the criteria NewMonitor supports, in
+// AllCriteria order. DUOpacity and Opacity are prefix-closed by the
+// paper's Corollary 2 and Definition 5; FinalStateOpacity, TMS2 and RCO
+// are monitored as the latched property "every response prefix observed
+// so far satisfies the criterion", which is prefix-closed by
+// construction. The serializability baselines ignore aborted
+// transactions entirely, so a violation can appear and disappear as
+// completions resolve — they stay batch-only.
+func MonitorableCriteria() []Criterion {
+	return append([]Criterion(nil), monitorableCriteria...)
+}
+
+// Monitorable reports whether NewMonitor accepts c.
+func Monitorable(c Criterion) bool {
+	for _, mc := range monitorableCriteria {
+		if mc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// MonitorableNames renders the monitorable criteria as a comma-separated
+// list of short CLI aliases (e.g. "du, tms2, rco, opacity, finalstate")
+// for error messages and flag help.
+func MonitorableNames() string {
+	s := ""
+	for i, c := range monitorableCriteria {
+		if i > 0 {
+			s += ", "
+		}
+		if alias, ok := CriterionAlias(c); ok {
+			s += alias
+		} else {
+			s += c.String()
+		}
+	}
+	return s
+}
+
 // Verdict is the result of checking a history against a criterion.
 type Verdict struct {
 	Criterion Criterion
@@ -243,8 +292,9 @@ func WithParallelism(n int) Option {
 // option flips from reject to accept). The default reading keeps the
 // edges for all readers.
 //
-// The option only affects CheckTMS2 (and Check with the TMS2 criterion);
-// other criteria ignore it.
+// The option only affects CheckTMS2, Check with the TMS2 criterion, and
+// NewMonitor(TMS2) — whose incremental edge state drops a reader's
+// incoming edges the moment its tryC aborts; other criteria ignore it.
 func WithTMS2AbortedReaderExemption() Option {
 	return func(o *options) { o.tms2AbortedExemption = true }
 }

@@ -7,3 +7,25 @@ import "duopacity/internal/history"
 func CheckReference(h *history.History, c Criterion, opts ...Option) Verdict {
 	return checkReference(h, c, buildOptions(opts))
 }
+
+// MonitorEdges exposes a snapshot of the monitor's incrementally
+// maintained conflict-order edge set (nil for criteria without one) so
+// the differential tests can pin it against the batch edge builders.
+func MonitorEdges(m *Monitor) [][2]history.TxnID {
+	if m.edges == nil {
+		return nil
+	}
+	return append([][2]history.TxnID(nil), m.edges.edges...)
+}
+
+// BatchConflictEdges recomputes the batch checkers' edge set for c over
+// the whole history — the oracle the incremental tracker must match.
+func BatchConflictEdges(h *history.History, c Criterion, exemptAborted bool) [][2]history.TxnID {
+	switch c {
+	case TMS2:
+		return tms2Edges(h, exemptAborted)
+	case RCO:
+		return rcoEdges(h)
+	}
+	return nil
+}

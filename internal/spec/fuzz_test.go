@@ -5,6 +5,7 @@ import (
 
 	"duopacity/internal/harness"
 	"duopacity/internal/history"
+	"duopacity/internal/litmus"
 	"duopacity/internal/spec"
 )
 
@@ -263,13 +264,41 @@ func TestPdurSeedEncoderRoundTrips(t *testing.T) {
 // undecided flag and explored node count — between the optimized engine
 // and the frozen reference engine, for every criterion, on histories
 // decoded from the fuzz payload. It also cross-checks the parallel
-// portfolio search against the sequential verdict whenever both decide.
+// portfolio search against the sequential verdict whenever both decide,
+// and — drawing a monitorable criterion, a retirement window and the
+// TMS2 exemption from the sel byte — runs the online monitor over the
+// same history, pinned per response prefix against the batch checker
+// (the fuzzed counterpart of TestMonitorDifferentialAllCriteria).
 func FuzzCheckerDifferential(f *testing.F) {
-	f.Add([]byte{})
-	f.Add([]byte{0, 44, 0, 8, 1, 0, 1, 4, 0, 88, 1, 9})
-	f.Add([]byte{0, 4, 0, 1, 1, 0, 1, 6, 0, 8, 0, 1, 1, 8, 1, 1})
-	f.Add([]byte{2, 0, 2, 4, 0, 4, 0, 1, 1, 0, 1, 4, 2, 8, 2, 1, 0, 8, 0, 2, 1, 8, 1, 2})
-	f.Add([]byte{0, 4, 0, 1, 0, 8, 1, 0, 1, 4, 0, 1, 2, 0, 2, 4, 1, 8, 2, 8, 0, 1, 1, 1, 2, 1})
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{0, 44, 0, 8, 1, 0, 1, 4, 0, 88, 1, 9}, byte(0))
+	f.Add([]byte{0, 4, 0, 1, 1, 0, 1, 6, 0, 8, 0, 1, 1, 8, 1, 1}, byte(1))
+	f.Add([]byte{2, 0, 2, 4, 0, 4, 0, 1, 1, 0, 1, 4, 2, 8, 2, 1, 0, 8, 0, 2, 1, 8, 1, 2}, byte(2))
+	f.Add([]byte{0, 4, 0, 1, 0, 8, 1, 0, 1, 4, 0, 1, 2, 0, 2, 4, 1, 8, 2, 8, 0, 1, 1, 1, 2, 1}, byte(0x21))
+	// Conflict-order litmus corpus: Figure 6 (du-opaque but not TMS2) and
+	// its mirror Figure 5 (du-opaque but not RCO), planted with sel bytes
+	// that draw the criterion each figure separates — and, for Figure 6's
+	// shape, the TMS2 aborted-reader variant (the pinned
+	// harness/testdata/tms2_aborted_reader.hist golden renumbered into the
+	// fuzz alphabet) under both exemption settings.
+	if data, ok := encodeHistory(litmus.Figure6()); ok {
+		f.Add(data, byte(1)) // TMS2
+		f.Add(data, byte(2)) // RCO accepts the same history
+	}
+	if data, ok := encodeHistory(litmus.Figure5()); ok {
+		f.Add(data, byte(2)) // RCO
+		f.Add(data, byte(1)) // TMS2 accepts the same history
+	}
+	abortedReader := history.NewBuilder().
+		Write(1, "X", 1).Commit(1).
+		Read(2, "X", 1).
+		Write(3, "X", 2).Commit(3).
+		CommitAbort(2).
+		History()
+	if data, ok := encodeHistory(abortedReader); ok {
+		f.Add(data, byte(1))    // strict TMS2 rejects
+		f.Add(data, byte(0x81)) // the exemption flips it to accept
+	}
 	// Real pdur executions, recorded under the deterministic interleaved
 	// scheduler and re-encoded into the fuzz alphabet: the corpus starts
 	// from interleavings a partitioned certifier actually produces
@@ -278,11 +307,11 @@ func FuzzCheckerDifferential(f *testing.F) {
 	for seed := int64(1); seed <= 12; seed++ {
 		if h, _, err := harness.RunInterleaved(pdurSeedWorkload(seed)); err == nil {
 			if data, ok := encodeHistory(h); ok {
-				f.Add(data)
+				f.Add(data, byte(seed%5))
 			}
 		}
 	}
-	f.Fuzz(func(t *testing.T, data []byte) {
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
 		h := historyFromBytes(data)
 		if h.Len() == 0 {
 			t.Skip()
@@ -314,5 +343,15 @@ func FuzzCheckerDifferential(f *testing.F) {
 				t.Fatalf("portfolio witness rejected by the validator: %v\nhistory:\n%s", err, h)
 			}
 		}
+		// Online monitor differential: sel draws a monitorable criterion,
+		// a retirement window and (for TMS2) the aborted-reader exemption;
+		// feedCompareOpts pins monitor == batch at every response prefix
+		// while unlatched, and the incremental edge set against the batch
+		// edge builders at every prefix when no window retires state.
+		mcs := spec.MonitorableCriteria()
+		mc := mcs[int(sel&0x0f)%len(mcs)]
+		window := []int{0, 0, 4, 16}[int(sel>>4)%4]
+		exempt := mc == spec.TMS2 && sel&0x80 != 0
+		feedCompareOpts(t, mc, h, window, exempt)
 	})
 }

@@ -17,6 +17,13 @@ const (
 	// EdgeReadsFrom is a value-forced source: under unique writes, a read
 	// of X=v must follow the only transaction that writes v to X.
 	EdgeReadsFrom
+	// EdgeConflictOrder is a criterion-mandated conflict-order constraint:
+	// a TMS2 edge (committed writer before later-committing reader of a
+	// shared object) or an RCO edge (reader before the later-committing
+	// writer of an object it read). These are necessary in every
+	// serialization the criterion admits, so a cycle through them refutes
+	// the criterion without search.
+	EdgeConflictOrder
 )
 
 // String names the edge kind.
@@ -26,6 +33,8 @@ func (k EdgeKind) String() string {
 		return "real-time"
 	case EdgeReadsFrom:
 		return "reads-from"
+	case EdgeConflictOrder:
+		return "conflict-order"
 	default:
 		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
 	}
@@ -88,6 +97,42 @@ func readsFromObj(h *history.History, w, r history.TxnID) history.Var {
 		}
 	}
 	return ""
+}
+
+// ConflictOrderEdges returns the criterion's mandatory conflict-order
+// constraints as diagnostic edges: the TMS2 or RCO edge set the checkers
+// (and the online monitor, incrementally) impose on every serialization.
+// Other criteria have none. WithTMS2AbortedReaderExemption is honored for
+// TMS2.
+func ConflictOrderEdges(h *history.History, c Criterion, opts ...Option) []Edge {
+	var pairs [][2]history.TxnID
+	switch c {
+	case TMS2:
+		pairs = tms2Edges(h, buildOptions(opts).tms2AbortedExemption)
+	case RCO:
+		pairs = rcoEdges(h)
+	default:
+		return nil
+	}
+	edges := make([]Edge, 0, len(pairs))
+	for _, p := range pairs {
+		edges = append(edges, Edge{From: p[0], To: p[1], Kind: EdgeConflictOrder})
+	}
+	return edges
+}
+
+// BuildConflictGraph is BuildPrecedenceGraph extended with the
+// criterion's conflict-order edges. Every edge is necessary (real-time
+// always; reads-from under unique writes; conflict-order by the
+// criterion's definition), so a Cycle in the result refutes the
+// criterion polynomially — the diagnostic counterpart of handing
+// tms2Edges/rcoEdges to the search as extraEdges.
+func BuildConflictGraph(h *history.History, c Criterion, opts ...Option) *PrecedenceGraph {
+	g := BuildPrecedenceGraph(h)
+	for _, e := range ConflictOrderEdges(h, c, opts...) {
+		g.addEdge(e)
+	}
+	return g
 }
 
 func (g *PrecedenceGraph) addEdge(e Edge) {

@@ -39,7 +39,10 @@ import (
 // Verdict work happens only at response events (appending an invocation
 // to an accepted history preserves acceptance: the new pending operation
 // is aborted by every completion without constraining legality, and a new
-// pending tryC only adds completion choices). At a response, the monitor
+// pending tryC only adds completion choices — for TMS2 a tryC invocation
+// can add conflict-order edges, which the monitor records immediately but
+// enforces from the next response prefix on; see NewMonitor). At a
+// response, the monitor
 // maintains a witness serialization order incrementally instead of
 // searching:
 //
@@ -102,6 +105,19 @@ type Monitor struct {
 	// properties of the current history alone.
 	undecidedPrefix string
 
+	// edges maintains the criterion's extra conflict-order constraints
+	// incrementally (TMS2 / RCO only, nil otherwise): standing edges feed
+	// every full search, edges added since the last recheck are validated
+	// against the witness on the fast path. See monitor_edges.go.
+	edges *edgeTracker
+	// localReads selects the read-legality the fast path enforces:
+	// du-opacity checks each external read against both the latest
+	// committed writer placed before it and the deferred-update local
+	// serialization; the other criteria need only the former, and
+	// checking both would reject valid witnesses adopted from their
+	// weaker searches, degrading the fast path to a search per event.
+	localReads bool
+
 	// seq and seqOps are the copy-on-write witness materialization owned
 	// by the monitor (see materialize): seq is the Seq handed out via
 	// Verdict.Serialization, seqOps the per-position completion scratch
@@ -124,16 +140,28 @@ type Monitor struct {
 // with retirement enabled rejects events carrying it.
 const ckptTxn history.TxnID = -1
 
-// NewMonitor returns a monitor for the given criterion. Supported
-// criteria are DUOpacity, FinalStateOpacity and Opacity (for which
-// prefix-wise monitoring is the definition itself).
+// NewMonitor returns a monitor for the given criterion. The supported
+// criteria are exactly MonitorableCriteria(): du-opacity and opacity are
+// prefix-closed by the paper's Corollary 2 and Definition 5, and
+// final-state opacity, TMS2 and RCO are monitored as the latched property
+// "every response prefix observed so far satisfies the criterion" —
+// prefix-closed by construction, and equal to the batch verdict at every
+// response prefix up to and including the first violation. (The
+// distinction matters only for TMS2 with the aborted-reader exemption,
+// whose edge removals can heal a batch violation in a later prefix; a
+// latched monitor keeps reporting the violation it proved.) TMS2 edges
+// appear at tryC invocations; the monitor, which recomputes verdicts only
+// at responses, enforces them from the next response prefix on — batch
+// verdicts at response prefixes are unaffected.
 func NewMonitor(c Criterion, opts ...Option) (*Monitor, error) {
-	switch c {
-	case DUOpacity, FinalStateOpacity, Opacity:
-	default:
-		return nil, fmt.Errorf("spec: criterion %v not supported by the monitor", c)
+	if !Monitorable(c) {
+		return nil, fmt.Errorf("spec: criterion %v not supported by the monitor (monitorable criteria: %s)", c, MonitorableNames())
 	}
 	m := &Monitor{crit: c, opts: buildOptions(opts), st: history.NewStream(), witnessOK: true}
+	m.localReads = c == DUOpacity
+	if c == TMS2 || c == RCO {
+		m.edges = newEdgeTracker(c, m.opts.tms2AbortedExemption, m.opts.retireWindow > 0)
+	}
 	// Deadline/cancellation propagation (spec.WithContext on the monitor):
 	// a cancelled context turns further rechecks into prompt undecided
 	// verdicts instead of full searches.
@@ -189,6 +217,12 @@ func (m *Monitor) Append(e history.Event) (Verdict, error) {
 		// refutation.
 		return m.verdict, nil
 	}
+	if m.edges != nil {
+		// Fold the event into the incremental edge state before any
+		// verdict work — TMS2 edges appear at tryC invocations, RCO edges
+		// and TMS2 exemption removals at tryC responses.
+		m.edges.observe(m.st.Live().Index(), e)
+	}
 	if e.Kind == history.Inv {
 		// Invocation events cannot break acceptance; the verdict carries
 		// over (the witness order catches up at the next response).
@@ -204,11 +238,12 @@ func (m *Monitor) Append(e history.Event) (Verdict, error) {
 }
 
 // recheck computes the verdict after response event e, trying the
-// incremental witness first. The witness is validated against the
-// deferred-update conditions, which imply final-state opacity, so the
-// fast path is sound for every monitorable criterion (a du-invalid
-// witness may still satisfy the weaker criteria — the search then decides
-// exactly).
+// incremental witness first. The fast path validates the witness against
+// the monitored criterion's own conditions — read legality (plus the
+// deferred-update local condition for du-opacity only, see localReads)
+// and, for TMS2/RCO, the conflict-order edges added since the last
+// recheck — so a fast hit certifies exactly; any failure falls through to
+// the exhaustive search, which decides exactly.
 func (m *Monitor) recheck(e history.Event) Verdict {
 	h := m.st.Live()
 	if m.crit == Opacity && m.undecidedPrefix != "" {
@@ -219,15 +254,28 @@ func (m *Monitor) recheck(e history.Event) Verdict {
 	ix := h.Index()
 	if m.verdict.OK && m.witnessOK && m.fastRecheck(ix, e) {
 		m.fastHits++
+		if m.edges != nil {
+			m.edges.clearPending()
+		}
 		return Verdict{Criterion: m.crit, OK: true, Serialization: m.materialize(ix)}
 	}
 	m.searches++
+	if m.edges != nil {
+		// The search enforces the whole standing edge set; nothing stays
+		// pending past it, whatever the outcome.
+		defer m.edges.clearPending()
+	}
 	var v Verdict
 	switch m.crit {
 	case DUOpacity:
 		v = decide(h, DUOpacity, searchMode{local: true, realTime: true}, m.recheckOpts)
 	case FinalStateOpacity:
 		v = decide(h, FinalStateOpacity, searchMode{realTime: true}, m.recheckOpts)
+	case TMS2, RCO:
+		// Like final-state opacity, a property of the current history
+		// alone — with the incrementally maintained conflict-order edges
+		// as extra constraints, exactly the batch checkers' edge sets.
+		v = decide(h, m.crit, searchMode{realTime: true, extraEdges: m.edges.edges}, m.recheckOpts)
 	default:
 		// Opacity: every response prefix seen so far was accepted (or the
 		// monitor would have latched, or undecidedPrefix would be set),
@@ -297,6 +345,14 @@ func (m *Monitor) adoptWitness(ix *history.Indexed, s *history.Seq) {
 // false when only the exhaustive search can decide.
 func (m *Monitor) fastRecheck(ix *history.Indexed, e history.Event) bool {
 	m.syncOrder(ix)
+	if m.edges != nil && !m.edges.pendingOK(ix, m.pos) {
+		// A conflict-order edge added since the last recheck is violated
+		// by the standing witness order; only the search (which enforces
+		// the whole edge set) can decide. Standing edges need no per-event
+		// check: they were validated when pending, and witness positions
+		// only change through adoptWitness, which re-validates everything.
+		return false
+	}
 	gi := ix.TxnIndexOf(e.Txn)
 	if gi < 0 {
 		return false
@@ -357,7 +413,8 @@ func (m *Monitor) fastRecheck(ix *history.Indexed, e history.Event) bool {
 // checkRead verifies one external value-returning read of the transaction
 // at position readerPos against the committed writers placed before it:
 // the latest committed write to the object must be the value read
-// (legality), and so must the latest one whose tryC invocation precedes
+// (legality) and — when the monitored criterion is du-opacity
+// (localReads) — so must the latest one whose tryC invocation precedes
 // the read's response in H (the deferred-update local serialization),
 // with T_0's InitValue as the base case for both.
 func (m *Monitor) checkRead(ix *history.Indexed, readerPos int, r history.IndexedRead) bool {
@@ -381,7 +438,10 @@ func (m *Monitor) checkRead(ix *history.Indexed, readerPos int, r history.Indexe
 			}
 		}
 	}
-	return top == r.Val && local == r.Val
+	if m.localReads && local != r.Val {
+		return false
+	}
+	return top == r.Val
 }
 
 // revalidate re-checks the whole witness order: commit decisions against
@@ -627,6 +687,12 @@ func (m *Monitor) retire(ix *history.Indexed, r int, sigma []history.IndexedWrit
 	}
 	m.st = ns
 	nix := ns.Live().Index()
+	if m.edges != nil {
+		// Edges touching retired transactions are discarded: the barrier's
+		// real-time order subsumes retired-to-live edges, and the others
+		// were frozen-satisfied by the witness that accepted the prefix.
+		m.edges.dropRetired(nix)
+	}
 	if m.witnessOK && len(m.order) == n {
 		// Index shift: retired entries occupy the first r witness
 		// positions (the barrier forces them first); the tail maps to the

@@ -1,7 +1,10 @@
 package spec_test
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"duopacity/internal/gen"
@@ -225,6 +228,138 @@ func feedCompare(t *testing.T, c spec.Criterion, h *history.History) {
 	}
 }
 
+// sortedEdges canonicalizes an edge list for set comparison.
+func sortedEdges(edges [][2]history.TxnID) [][2]history.TxnID {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}
+
+// feedCompareOpts is the windowed, option-aware feedCompare: it feeds h
+// event by event through a monitor with the given retirement window
+// (0 disables) and — for TMS2 — the aborted-reader exemption, pinning the
+// monitor verdict against the batch checker at every response prefix
+// while unlatched. With window 0 it additionally pins the monitor's
+// incrementally maintained conflict-order edge set against the batch
+// tms2Edges/rcoEdges builders at every prefix, invocation prefixes
+// included (with retirement the live history diverges from the raw
+// prefix, so the edge oracle no longer applies event-for-event).
+func feedCompareOpts(t *testing.T, c spec.Criterion, h *history.History, window int, exempt bool) {
+	t.Helper()
+	var batchOpts []spec.Option
+	if exempt {
+		batchOpts = append(batchOpts, spec.WithTMS2AbortedReaderExemption())
+	}
+	monOpts := append([]spec.Option(nil), batchOpts...)
+	if window > 0 {
+		monOpts = append(monOpts, spec.WithRetirement(window))
+	}
+	m, err := spec.NewMonitor(c, monOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := h.Events()
+	latched := false
+	for i, e := range evs {
+		v, err := m.Append(e)
+		if err != nil {
+			t.Fatalf("append %d (%v): %v", i, e, err)
+		}
+		if !latched && window == 0 && (c == spec.TMS2 || c == spec.RCO) {
+			got := sortedEdges(spec.MonitorEdges(m))
+			want := sortedEdges(spec.BatchConflictEdges(h.Prefix(i+1), c, exempt))
+			if len(got) != len(want) {
+				t.Fatalf("prefix %d: monitor has %d edges %v, batch %d edges %v", i+1, len(got), got, len(want), want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("prefix %d: edge sets diverge: monitor %v, batch %v", i+1, got, want)
+				}
+			}
+		}
+		if e.Kind != history.Res {
+			continue
+		}
+		want := spec.Check(h.Prefix(i+1), c, batchOpts...)
+		if !latched && v.OK != want.OK {
+			t.Fatalf("prefix %d (window %d, exempt %v): monitor=%v batch=%v (monitor reason: %s; batch reason: %s)",
+				i+1, window, exempt, v.OK, want.OK, v.Reason, want.Reason)
+		}
+		if !v.OK {
+			latched = true
+		}
+		if v.OK && c == spec.DUOpacity && window == 0 {
+			// With retirement the witness serializes the checkpointed live
+			// history, not the raw prefix; the retirement differential
+			// tests pin that path.
+			if err := spec.VerifySerialization(h.Prefix(i+1), v.Serialization); err != nil {
+				t.Fatalf("prefix %d: monitor witness invalid: %v", i+1, err)
+			}
+		}
+	}
+}
+
+// TestMonitorDifferentialAllCriteria is the per-prefix differential
+// suite for the whole monitorable lattice: golden litmus streams and
+// randomized generator/mutator streams are fed event by event to a
+// monitor for each of the five monitorable criteria, and the monitor's
+// verdict must equal the batch Check verdict at every response prefix —
+// with retirement off and with windows 4 and 16, and for TMS2 with the
+// aborted-reader exemption both off and on. For TMS2/RCO the unretired
+// runs additionally pin the incremental edge state itself against the
+// batch edge builders at every prefix.
+func TestMonitorDifferentialAllCriteria(t *testing.T) {
+	type entry struct {
+		name string
+		h    *history.History
+	}
+	var histories []entry
+	for _, lc := range litmus.Cases() {
+		histories = append(histories, entry{lc.Name, lc.H})
+	}
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 6; seed++ {
+		h := gen.DUOpaque(gen.Config{
+			Txns: 8, Objects: 3, OpsPerTxn: 3, ReadFraction: 0.5,
+			PAbort: 0.2, PNoTryC: 0.15, Relax: 5, Seed: 300 + seed,
+		})
+		histories = append(histories, entry{fmt.Sprintf("gen-%d", seed), h})
+		hu := gen.DUOpaque(gen.Config{
+			Txns: 8, Objects: 3, OpsPerTxn: 3, UniqueWrites: true,
+			PAbort: 0.15, Relax: 5, Seed: 400 + seed,
+		})
+		if mh, ok := gen.MutateFutureRead(hu, rng); ok {
+			histories = append(histories, entry{fmt.Sprintf("future-read-%d", seed), mh})
+		}
+		if mh, ok := gen.MutateSourcelessRead(hu, rng); ok {
+			histories = append(histories, entry{fmt.Sprintf("sourceless-%d", seed), mh})
+		}
+		if mh, ok := gen.MutateAbortWriter(hu, rng); ok {
+			histories = append(histories, entry{fmt.Sprintf("abort-writer-%d", seed), mh})
+		}
+	}
+	windows := []int{0, 4, 16}
+	for _, hh := range histories {
+		hh := hh
+		t.Run(hh.name, func(t *testing.T) {
+			for _, c := range spec.MonitorableCriteria() {
+				for _, w := range windows {
+					feedCompareOpts(t, c, hh.h, w, false)
+				}
+				if c == spec.TMS2 {
+					for _, w := range windows {
+						feedCompareOpts(t, c, hh.h, w, true)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestMonitorDifferentialAccepting cross-checks the monitor against the
 // batch checkers on generated du-opaque histories, for all monitorable
 // criteria.
@@ -291,8 +426,71 @@ func TestMonitorOpacityStaysUndecidedAfterSkippedPrefix(t *testing.T) {
 }
 
 func TestMonitorUnsupportedCriterion(t *testing.T) {
-	if _, err := spec.NewMonitor(spec.TMS2); err == nil {
-		t.Fatal("spec.TMS2 monitoring should be rejected")
+	for _, c := range []spec.Criterion{spec.StrictSerializability, spec.Serializability} {
+		_, err := spec.NewMonitor(c)
+		if err == nil {
+			t.Fatalf("%v monitoring should be rejected", c)
+		}
+		// The error lists the supported criteria from the shared table, so
+		// the message cannot drift from what NewMonitor actually accepts.
+		if !strings.Contains(err.Error(), spec.MonitorableNames()) {
+			t.Fatalf("error %q does not list the monitorable criteria %q", err, spec.MonitorableNames())
+		}
+	}
+}
+
+// TestMonitorAcceptsAllMonitorableCriteria pins the shared table against
+// the constructor: every criterion MonitorableCriteria lists — TMS2 and
+// RCO included — must yield a working monitor, and nothing else may.
+func TestMonitorAcceptsAllMonitorableCriteria(t *testing.T) {
+	for _, c := range spec.MonitorableCriteria() {
+		m, err := spec.NewMonitor(c)
+		if err != nil {
+			t.Fatalf("NewMonitor(%v): %v", c, err)
+		}
+		if v := feed(t, m, litmus.ByName("serial-chain").H); !v.OK {
+			t.Fatalf("%v monitor rejected the serial chain: %s", c, v.Reason)
+		}
+	}
+	for _, c := range spec.AllCriteria() {
+		_, err := spec.NewMonitor(c)
+		if spec.Monitorable(c) != (err == nil) {
+			t.Fatalf("Monitorable(%v)=%v but NewMonitor error=%v", c, spec.Monitorable(c), err)
+		}
+	}
+}
+
+// TestMonitorTMS2RCOSeparations replays the paper's conflict-order
+// litmus pair through the online path: Figure 6 (du-opaque but not TMS2)
+// must be rejected by the TMS2 monitor and accepted by the RCO monitor,
+// and its mirror Figure 5 (du-opaque but not RCO) the other way around.
+func TestMonitorTMS2RCOSeparations(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       *history.History
+		rejects spec.Criterion
+		accepts spec.Criterion
+	}{
+		{"figure-6", litmus.Figure6(), spec.TMS2, spec.RCO},
+		{"figure-5", litmus.Figure5(), spec.RCO, spec.TMS2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mr, err := spec.NewMonitor(c.rejects)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := feed(t, mr, c.h); v.OK {
+				t.Fatalf("%v monitor accepted %s", c.rejects, c.name)
+			}
+			ma, err := spec.NewMonitor(c.accepts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := feed(t, ma, c.h); !v.OK {
+				t.Fatalf("%v monitor rejected %s: %s", c.accepts, c.name, v.Reason)
+			}
+		})
 	}
 }
 

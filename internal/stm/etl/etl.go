@@ -110,10 +110,10 @@ type txn struct {
 	// read-log validation must compare against that value, not against the
 	// transaction's own in-place writes.
 	acqVal map[int]int64
-	undo []undoEntry
-	rset []readEntry
-	mgr  cm.Manager
-	dead bool
+	undo   []undoEntry
+	rset   []readEntry
+	mgr    cm.Manager
+	dead   bool
 }
 
 var _ stm.Txn = (*txn)(nil)
